@@ -1,0 +1,179 @@
+package smt_test
+
+// One benchmark per table/figure of the paper's evaluation. Each runs
+// the corresponding experiment sweep in virtual time and reports rows
+// via b.Log; per-row custom metrics carry the headline numbers so
+// `go test -bench=.` regenerates every artifact. Absolute wall time per
+// iteration reflects simulation cost, not protocol speed — the virtual-
+// time results inside the rows are the reproduction.
+
+import (
+	"testing"
+
+	"smt/internal/experiments"
+	"smt/internal/handshake"
+	"smt/internal/ycsb"
+)
+
+// BenchmarkTable1Properties regenerates Table 1 (design-space matrix).
+func BenchmarkTable1Properties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-16s enc=%-8s abs=%-6s offload=%-8s proto=%-4s par=%s",
+					r.System, r.Encryption, r.Abstraction, r.Offload, r.Protocol, r.Parallelism)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Handshake regenerates Table 2 (handshake breakdown)
+// with real crypto on this machine next to the paper's numbers.
+func BenchmarkTable2Handshake(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := handshake.MeasureTable2()
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-24s paper=%8.1fµs measured=%8.1fµs", r.Name, r.PaperUs, r.MeasuredUs)
+			}
+		}
+	}
+}
+
+// BenchmarkFig2ResyncSemantics regenerates the Figure 2 scenarios.
+func BenchmarkFig2ResyncSemantics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig2()
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-24s decrypted=%v corrupted=%d resyncs=%d", r.Scenario, r.Decrypted, r.Corrupted, r.Resyncs)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5BitAllocation regenerates the Figure 5 trade-off matrix.
+func BenchmarkFig5BitAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5()
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("sizeBits=%2d idBits=%2d maxMsgs=%.3g maxSize=%.1fMB(1.5K) %.0fMB(16K)",
+					r.SizeBits, r.IDBits, r.MaxMessages, r.MaxMsgSizeMB, r.MaxMsgSize16KB)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6UnloadedRTT regenerates Figure 6 on a reduced grid (the
+// full grid via cmd/smtbench fig6).
+func BenchmarkFig6UnloadedRTT(b *testing.B) {
+	sizes := []int{64, 1024, 8192, 65536}
+	for i := 0; i < b.N; i++ {
+		for _, size := range sizes {
+			for _, sys := range experiments.Fig6Systems() {
+				r := experiments.MeasureRTT(sys, size, 0, false, 42)
+				if i == 0 {
+					b.Logf("%-8s %6dB RTT=%v", r.System, r.Size, r.MeanRTT)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Throughput regenerates Figure 7 at one concurrency point
+// per size (full sweep via cmd/smtbench fig7).
+func BenchmarkFig7Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, size := range experiments.Fig7Sizes {
+			for _, sys := range experiments.Fig6Systems() {
+				r := experiments.MeasureThroughput(sys, size, 150, 0, 0, 9)
+				if i == 0 {
+					b.Logf("%-8s %6dB c=150: %.3fM RPC/s", r.System, r.Size, r.RPCsPerSec/1e6)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Redis regenerates Figure 8 on one workload per value size
+// (full sweep via cmd/smtbench fig8).
+func BenchmarkFig8Redis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, v := range []int{64, 1024, 4096} {
+			for _, sys := range experiments.Fig8Systems() {
+				r := experiments.MeasureRedis(sys, ycsb.WorkloadB, v, 64, 99)
+				if i == 0 {
+					b.Logf("%-8s YCSB-B v=%4d: %.0f ops/s", r.System, r.Value, r.OpsPerSec)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig9NVMeoF regenerates Figure 9 at iodepth 1 and 8.
+func BenchmarkFig9NVMeoF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, d := range []int{1, 8} {
+			for _, sys := range experiments.Fig6Systems() {
+				r := experiments.MeasureNVMeoF(sys, d, 444)
+				if i == 0 {
+					b.Logf("%-8s iodepth=%d: p50=%.1fµs p99=%.1fµs", r.System, r.IODepth, r.P50Us, r.P99Us)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig10TCPLS regenerates Figure 10.
+func BenchmarkFig10TCPLS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig10()
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-8s %6dB RTT=%v", r.System, r.Size, r.MeanRTT)
+			}
+		}
+	}
+}
+
+// BenchmarkFig11TSO regenerates Figure 11.
+func BenchmarkFig11TSO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig11()
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-16s %6dB RTT=%v", r.System, r.Size, r.MeanRTT)
+			}
+		}
+	}
+}
+
+// BenchmarkFig12KeyExchange regenerates Figure 12 at one RPC size.
+func BenchmarkFig12KeyExchange(b *testing.B) {
+	modes := []handshake.Mode{
+		handshake.Init0RTT, handshake.Init0RTTFS, handshake.Init1RTT,
+		handshake.Rsmp, handshake.RsmpFS,
+	}
+	for i := 0; i < b.N; i++ {
+		for _, m := range modes {
+			r := experiments.MeasureKeyExchange(m, 1024, 5)
+			if i == 0 {
+				b.Logf("%-10s %.0fµs", r.Mode, r.TimeUs)
+			}
+		}
+	}
+}
+
+// BenchmarkCPUUsage regenerates the §5.2 fixed-rate CPU comparison.
+func BenchmarkCPUUsage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.CPUUsage(1.2e6)
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-8s rate=%.2fM cli=%.1f%% srv=%.1f%%", r.System, r.RPCsPerSec/1e6, r.ClientCPU*100, r.ServerCPU*100)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command smtbench regenerates every table and figure of the paper's
+// evaluation from the simulated testbed. Run with a subcommand (table1,
+// table2, fig2, fig5, fig6, fig7, fig7mtu, cpuusage, fig8, fig9, fig10,
+// fig11, fig12) or `all`.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"smt/internal/experiments"
+	"smt/internal/handshake"
+)
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	run := func(name string, fn func()) {
+		if which == "all" || which == name {
+			fmt.Printf("\n==== %s ====\n", name)
+			fn()
+		}
+	}
+
+	run("table1", func() {
+		for _, r := range experiments.Table1() {
+			fmt.Printf("%-16s enc=%-8s abs=%-6s offload=%-8s proto=%-4s par=%s\n",
+				r.System, r.Encryption, r.Abstraction, r.Offload, r.Protocol, r.Parallelism)
+		}
+	})
+	run("table2", func() {
+		for _, r := range handshake.MeasureTable2() {
+			rsa := ""
+			if r.PaperRSAUs > 0 {
+				rsa = fmt.Sprintf("  (RSA paper=%.1f measured=%.1f)", r.PaperRSAUs, r.MeasRSAUs)
+			}
+			fmt.Printf("%-24s paper=%8.1fµs measured=%8.1fµs%s\n", r.Name, r.PaperUs, r.MeasuredUs, rsa)
+		}
+	})
+	run("fig2", func() {
+		for _, r := range experiments.Fig2() {
+			fmt.Printf("%-24s decrypted=%-5v corrupted=%d resyncs=%d\n", r.Scenario, r.Decrypted, r.Corrupted, r.Resyncs)
+		}
+	})
+	run("fig5", func() {
+		for _, r := range experiments.Fig5() {
+			fmt.Printf("sizeBits=%2d idBits=%2d maxMsgs=%.3g maxSize=%.1f MB (1.5K) / %.0f MB (16K)\n",
+				r.SizeBits, r.IDBits, r.MaxMessages, r.MaxMsgSizeMB, r.MaxMsgSize16KB)
+		}
+	})
+	run("fig6", func() {
+		for _, r := range experiments.Fig6() {
+			fmt.Printf("%-8s %6dB mean=%v p50=%v n=%d\n", r.System, r.Size, r.MeanRTT, r.P50RTT, r.N)
+		}
+	})
+	run("fig7", func() {
+		for _, r := range experiments.Fig7() {
+			fmt.Printf("%-8s %6dB c=%-3d %.3fM RPC/s (lat %.1fµs)\n",
+				r.System, r.Size, r.Concurrency, r.RPCsPerSec/1e6, r.MeanLatUs)
+		}
+	})
+	run("fig7mtu", func() {
+		for _, r := range experiments.Fig7JumboMTU() {
+			fmt.Printf("%-12s %6dB c=%-3d %.3fM RPC/s\n", r.System, r.Size, r.Concurrency, r.RPCsPerSec/1e6)
+		}
+	})
+	run("cpuusage", func() {
+		for _, r := range experiments.CPUUsage(1.2e6) {
+			fmt.Printf("%-8s rate=%.2fM cli=%.1f%% srv=%.1f%%\n",
+				r.System, r.RPCsPerSec/1e6, r.ClientCPU*100, r.ServerCPU*100)
+		}
+	})
+	run("fig8", func() {
+		for _, r := range experiments.Fig8() {
+			fmt.Printf("%-8s %s v=%-5d %.0f ops/s\n", r.System, r.Workload, r.Value, r.OpsPerSec)
+		}
+	})
+	run("fig9", func() {
+		for _, r := range experiments.Fig9() {
+			fmt.Printf("%-8s iodepth=%d p50=%.1fµs p99=%.1fµs iops=%.0f\n",
+				r.System, r.IODepth, r.P50Us, r.P99Us, r.IOPS)
+		}
+	})
+	run("fig10", func() {
+		for _, r := range experiments.Fig10() {
+			fmt.Printf("%-8s %6dB RTT=%v\n", r.System, r.Size, r.MeanRTT)
+		}
+	})
+	run("fig11", func() {
+		for _, r := range experiments.Fig11() {
+			fmt.Printf("%-16s %6dB RTT=%v\n", r.System, r.Size, r.MeanRTT)
+		}
+	})
+	run("fig12", func() {
+		for _, r := range experiments.Fig12() {
+			fmt.Printf("%-10s %6dB %.0fµs\n", r.Mode, r.Size, r.TimeUs)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+// Quickstart: bring up the simulated two-host testbed, open an SMT
+// session (keys installed directly, as after a completed handshake), and
+// exchange an encrypted RPC. Demonstrates the core API surface: World,
+// Socket, PairSessions, Send/OnMessage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smt"
+	"smt/internal/experiments"
+)
+
+func main() {
+	world := smt.NewWorld(1)
+
+	// Server socket on well-known port 443 with 12 worker threads.
+	threads := make([]int, experiments.AppThreads)
+	for i := range threads {
+		threads[i] = i
+	}
+	srv := smt.NewSocket(world.Server, smt.Config{
+		Transport: smt.TransportConfig{Port: 443, AppThreads: threads},
+	})
+	cli := smt.NewSocket(world.Client, smt.Config{})
+
+	// Install mirrored session keys (the state a TLS 1.3 handshake
+	// produces; see examples/zerortt for the real exchange).
+	if err := smt.PairSessions(cli, cli.Port(), srv, 443, 7); err != nil {
+		log.Fatal(err)
+	}
+
+	// Echo server: every delivery has already been decrypted, verified,
+	// and replay-checked by the transport.
+	srv.OnMessage(func(d smt.Delivery) {
+		fmt.Printf("[server t=%v] got %d bytes from %d:%d (msg %d)\n",
+			d.Recv, len(d.Payload), d.Src, d.SrcPort, d.MsgID)
+		srv.Send(d.Src, d.SrcPort, append([]byte("echo: "), d.Payload...), d.AppThread)
+	})
+	cli.OnMessage(func(d smt.Delivery) {
+		fmt.Printf("[client t=%v] reply: %q\n", d.Recv, d.Payload)
+	})
+
+	world.Eng.At(0, func() {
+		cli.Send(experiments.ServerAddr, 443, []byte("hello encrypted datacenter"), 0)
+	})
+	world.Eng.Run()
+
+	st := cli.Codecs()[0].Stats
+	fmt.Printf("client codec: %d records sealed (sw), replays seen: %d\n", st.RecordsSW, st.Replays)
+}

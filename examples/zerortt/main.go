@@ -1,0 +1,61 @@
+// zerortt demonstrates §4.5 end to end: the server publishes an
+// SMT-ticket through the datacenter DNS resolver, the client verifies it
+// offline and then opens a 0-RTT encrypted session, sending application
+// data on the very first flight. The same exchange is run as a standard
+// 1-RTT TLS 1.3 handshake for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smt/internal/dcdns"
+	"smt/internal/experiments"
+	"smt/internal/handshake"
+	"smt/internal/sim"
+)
+
+func main() {
+	world := experiments.NewWorld(3)
+
+	// The operator CA mints the server identity and publishes its
+	// SMT-ticket (long-term ECDH share + cert + signature) in DNS.
+	id, err := handshake.NewIdentity()
+	if err != nil {
+		log.Fatal(err)
+	}
+	resolver := dcdns.New(world.Eng, 0)
+	if err := resolver.Register("storage.svc.cluster", id); err != nil {
+		log.Fatal(err)
+	}
+
+	// The client fetches and verifies the ticket ahead of time — this
+	// happens off the critical path (server names are known in advance).
+	ticket, err := resolver.Lookup("storage.svc.cluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ticket.Verify(&id.SigKey.PublicKey, world.Eng.Now()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SMT-ticket fetched and verified via dcdns (hourly rotation)")
+
+	// Measure each exchange variant followed by a 1 KB encrypted RPC.
+	for _, mode := range []handshake.Mode{
+		handshake.Init1RTT, handshake.Init0RTTFS, handshake.Init0RTT,
+		handshake.Rsmp, handshake.RsmpFS,
+	} {
+		r := experiments.MeasureKeyExchange(mode, 1024, 11)
+		fmt.Printf("  %-10s first encrypted RPC completed at %7.0f µs\n", r.Mode, r.TimeUs)
+	}
+
+	// Ticket expiry bounds the replay window (§4.5.3).
+	world.Eng.RunUntil(world.Eng.Now() + dcdns.DefaultTTL + sim.Second)
+	if err := ticket.Verify(&id.SigKey.PublicKey, world.Eng.Now()); err != nil {
+		fmt.Printf("after TTL: stale ticket rejected (%v); dcdns re-mints on lookup\n", err)
+	}
+	if _, err := resolver.Lookup("storage.svc.cluster"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fresh ticket served after rotation")
+}

@@ -1,0 +1,219 @@
+// Package cost centralizes the CPU/NIC/wire cost model for the
+// performance simulation. Every duration the simulator charges comes from
+// one Model instance, so the calibration lives in exactly one place.
+//
+// The constants are calibrated to public numbers for the paper's testbed
+// class (Xeon Silver 4314, ConnectX-7 100 GbE, Linux 6.2): a TCP 64 B
+// ping-pong RTT of roughly 16 µs, AES-128-GCM at a few GB/s per core,
+// memcpy at tens of GB/s, and the paper's own observations (softirq-bound
+// Homa at ≈0.7 M 8 KB RPC/s, GRO-amortized TCP receive, non-overlapped
+// Homa delivery copy). Absolute values are approximate by design; the
+// experiments reproduce relative shapes.
+package cost
+
+import "smt/internal/sim"
+
+// Model holds every tunable cost. The zero value is unusable; start from
+// Default.
+type Model struct {
+	// ---- Wire and NIC ----
+
+	// LinkGbps is the link speed used for serialization delay.
+	LinkGbps float64
+	// PropDelay is one-way propagation including PHY latency (back-to-back
+	// cable in the testbed).
+	PropDelay sim.Time
+	// NICFixedDelay is the per-packet NIC pipeline + PCIe latency charged
+	// once on transmit and once on receive (not CPU time).
+	NICFixedDelay sim.Time
+	// NICPerSegment is NIC descriptor processing time per TSO segment.
+	NICPerSegment sim.Time
+	// NICResync is the extra NIC-side cost of consuming a TLS resync
+	// descriptor (§3.2); reusing a flow context via resync is much cheaper
+	// than allocating a new one (§4.4.2).
+	NICResync sim.Time
+	// NICCtxAlloc is the cost of installing a fresh TLS flow context in
+	// NIC memory.
+	NICCtxAlloc sim.Time
+
+	// ---- Generic CPU ----
+
+	// Syscall is the fixed user/kernel boundary cost (entry, exit, socket
+	// lookup) for send*/recv*/epoll-style calls.
+	Syscall sim.Time
+	// WakeupCPU is softirq-side cost to wake a blocked application thread.
+	WakeupCPU sim.Time
+	// WakeupLatency is the scheduling delay before the woken thread runs
+	// (latency, not CPU).
+	WakeupLatency sim.Time
+	// CopyPerKB is memcpy cost per KiB (user<->kernel or user<->user).
+	CopyPerKB sim.Time
+
+	// ---- Crypto ----
+
+	// CryptoFixed is the per-record software AEAD overhead (nonce setup,
+	// tag finalization).
+	CryptoFixed sim.Time
+	// CryptoPerKB is software AES-128-GCM cost per KiB on one core.
+	CryptoPerKB sim.Time
+	// OffloadMetaPerSeg is the CPU cost of populating NIC TLS-offload
+	// metadata for one TSO segment (the reason hardware offload is not
+	// free for small messages, §5.1).
+	OffloadMetaPerSeg sim.Time
+
+	// ---- TCP stack ----
+
+	// TCPTxSegment is the per-TSO-segment transmit cost (tcp_sendmsg path
+	// beyond the syscall and copy).
+	TCPTxSegment sim.Time
+	// TCPRxBatch is the fixed NAPI poll cost paid when a receive burst
+	// starts after an idle gap on the endpoint.
+	TCPRxBatch sim.Time
+	// TCPRxPerPacket is the receive cost of a packet that starts a new
+	// GRO aggregate (first of a flow's burst, or interleaved traffic).
+	TCPRxPerPacket sim.Time
+	// TCPGROMerge is the cost of a packet GRO-merged into the previous
+	// packet's aggregate (same connection, back to back): the stack does
+	// one protocol pass per aggregate, so merged packets are cheap.
+	TCPGROMerge sim.Time
+	// TCPAck is the cost to generate or process an ACK.
+	TCPAck sim.Time
+	// TCPDeliver is the in-order delivery bookkeeping per wakeup
+	// (tcp_recvmsg beyond the copy).
+	TCPDeliver sim.Time
+	// TCPDeliverBatch caps the bytes one recv cycle returns; larger
+	// arrivals take multiple epoll+read cycles (stream abstraction: the
+	// app reads in buffer-sized chunks, §2).
+	TCPDeliverBatch int
+	// TCPPerConn models connection-metadata cache pollution (§2): each
+	// application-side message event pays this per active connection on
+	// the host. Message transports multiplex one socket and do not.
+	TCPPerConn sim.Time
+	// EpollDispatch is the per-event epoll loop cost in the application.
+	EpollDispatch sim.Time
+	// HomaActiveScan is the per-active-message SRPT/grant bookkeeping
+	// cost paid when a new message registers at the receiver; Homa's
+	// scheduler maintains sorted active-RPC lists, so cost grows with
+	// concurrency (capped at HomaScanCap messages).
+	HomaActiveScan sim.Time
+	// HomaScanCap bounds the scan cost.
+	HomaScanCap int
+	// AppLogic is the RPC handler's application-level work per request
+	// (parsing, dispatch), identical across transports.
+	AppLogic sim.Time
+
+	// ---- Homa / message stack ----
+
+	// HomaTxSegment is the per-TSO-segment transmit cost.
+	HomaTxSegment sim.Time
+	// HomaTxPacketNoTSO is the per-packet transmit cost when TSO is
+	// disabled (Fig. 11): the stack cuts MTU packets itself.
+	HomaTxPacketNoTSO sim.Time
+	// HomaNAPI is the NAPI/GRO stage cost per packet that starts a new
+	// homa_gro aggregate. This stage runs on the *flow-hash* core: all
+	// Homa/SMT traffic between two hosts shares one 5-tuple, so this
+	// single core is the serial stage the paper identifies as
+	// "constrained by the softirq thread" (§5.2). Homa redistributes the
+	// protocol work per message afterwards.
+	HomaNAPI sim.Time
+	// HomaNAPIMerged is the NAPI cost of a packet homa_gro-merged with
+	// the previous one (same message, back to back on the wire).
+	HomaNAPIMerged sim.Time
+	// HomaRxPerPacket is the per-packet protocol processing cost on the
+	// message's (redistributed) softirq core.
+	HomaRxPerPacket sim.Time
+	// MsgDeliver is the recvmsg-side delivery bookkeeping per message
+	// (buffer handoff beyond syscall + copy).
+	MsgDeliver sim.Time
+	// HomaRxMsgFixed is the per-message receive bookkeeping (RPC state,
+	// reassembly registration).
+	HomaRxMsgFixed sim.Time
+	// HomaGrant is the cost to generate or process a GRANT.
+	HomaGrant sim.Time
+	// HomaPacer is the per-segment cost in the pacer thread for granted
+	// data.
+	HomaPacer sim.Time
+
+	// ---- Record-layer stacks ----
+
+	// KTLSRecord is kTLS bookkeeping per record beyond crypto (skb
+	// record association, state).
+	KTLSRecord sim.Time
+	// UserTLSRecord is user-space TLS per-record bookkeeping (OpenSSL-ish
+	// buffer management; Redis's default mode in Fig. 8).
+	UserTLSRecord sim.Time
+	// TCPLSRecord is TCPLS per-record overhead on top of kTLS-style
+	// processing (stream multiplexing, custom nonce bookkeeping, §5.5).
+	TCPLSRecord sim.Time
+	// SMTRecord is SMT per-record transport bookkeeping (framing header,
+	// composite sequence derivation).
+	SMTRecord sim.Time
+	// SMTRxSegment is SMT receive-side per-segment cost (record
+	// re-slicing from TSO offsets + IPIDs).
+	SMTRxSegment sim.Time
+}
+
+// Default returns the calibrated model used by all experiments.
+func Default() *Model {
+	return &Model{
+		LinkGbps:      100,
+		PropDelay:     500 * sim.Nanosecond,
+		NICFixedDelay: 600 * sim.Nanosecond,
+		NICPerSegment: 150 * sim.Nanosecond,
+		NICResync:     120 * sim.Nanosecond,
+		NICCtxAlloc:   1800 * sim.Nanosecond,
+
+		Syscall:       1000 * sim.Nanosecond,
+		WakeupCPU:     400 * sim.Nanosecond,
+		WakeupLatency: 1600 * sim.Nanosecond,
+		CopyPerKB:     60 * sim.Nanosecond, // ≈17 GB/s incl. cache misses
+
+		CryptoFixed:       400 * sim.Nanosecond,
+		CryptoPerKB:       200 * sim.Nanosecond, // ≈5 GB/s AES-NI AES-128-GCM
+		OffloadMetaPerSeg: 180 * sim.Nanosecond,
+
+		TCPTxSegment:    1200 * sim.Nanosecond,
+		TCPRxBatch:      1500 * sim.Nanosecond,
+		TCPRxPerPacket:  430 * sim.Nanosecond,
+		TCPGROMerge:     200 * sim.Nanosecond,
+		TCPAck:          450 * sim.Nanosecond,
+		TCPDeliver:      1000 * sim.Nanosecond,
+		TCPDeliverBatch: 12 * 1024,
+		TCPPerConn:      6 * sim.Nanosecond,
+		EpollDispatch:   600 * sim.Nanosecond,
+		HomaActiveScan:  8 * sim.Nanosecond,
+		HomaScanCap:     128,
+		AppLogic:        2000 * sim.Nanosecond,
+
+		HomaTxSegment:     900 * sim.Nanosecond,
+		HomaTxPacketNoTSO: 650 * sim.Nanosecond,
+		HomaNAPI:          300 * sim.Nanosecond,
+		HomaNAPIMerged:    120 * sim.Nanosecond,
+		HomaRxPerPacket:   200 * sim.Nanosecond,
+		MsgDeliver:        1000 * sim.Nanosecond,
+		HomaRxMsgFixed:    400 * sim.Nanosecond,
+		HomaGrant:         250 * sim.Nanosecond,
+		HomaPacer:         300 * sim.Nanosecond,
+
+		KTLSRecord:    300 * sim.Nanosecond,
+		UserTLSRecord: 520 * sim.Nanosecond,
+		TCPLSRecord:   650 * sim.Nanosecond,
+		SMTRecord:     230 * sim.Nanosecond,
+		SMTRxSegment:  260 * sim.Nanosecond,
+	}
+}
+
+// Serialize returns the wire serialization time of n bytes at link rate.
+func (m *Model) Serialize(n int) sim.Time {
+	return sim.Time(float64(n) * 8 / m.LinkGbps) // Gbps → bits/ns
+}
+
+// Copy returns the memcpy cost of n bytes.
+func (m *Model) Copy(n int) sim.Time {
+	return sim.Time(int64(n)) * m.CopyPerKB / 1024
+}
+
+// CryptoSW returns the software AEAD cost for one record of n bytes.
+func (m *Model) CryptoSW(n int) sim.Time {
+	return m.CryptoFixed + sim.Time(int64(n))*m.CryptoPerKB/1024
+}

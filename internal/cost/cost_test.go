@@ -1,0 +1,92 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smt/internal/sim"
+)
+
+func TestSerialize(t *testing.T) {
+	m := Default()
+	// 1500 B at 100 Gb/s = 120 ns.
+	if got := m.Serialize(1500); got != 120*sim.Nanosecond {
+		t.Fatalf("Serialize(1500) = %v, want 120ns", got)
+	}
+	if m.Serialize(0) != 0 {
+		t.Fatal("Serialize(0) != 0")
+	}
+}
+
+func TestCopyScalesLinearly(t *testing.T) {
+	m := Default()
+	if m.Copy(1024) != m.CopyPerKB {
+		t.Fatalf("Copy(1KiB) = %v, want %v", m.Copy(1024), m.CopyPerKB)
+	}
+	if m.Copy(10*1024) != 10*m.CopyPerKB {
+		t.Fatal("copy not linear")
+	}
+}
+
+func TestCryptoSW(t *testing.T) {
+	m := Default()
+	if m.CryptoSW(0) != m.CryptoFixed {
+		t.Fatal("zero-byte record should cost the fixed part")
+	}
+	if m.CryptoSW(16384) != m.CryptoFixed+16*m.CryptoPerKB {
+		t.Fatal("16 KB record cost wrong")
+	}
+}
+
+// Sanity: the calibrated model keeps the orderings the experiments rely
+// on — documented here so a recalibration that breaks a shape fails fast.
+func TestCalibrationInvariants(t *testing.T) {
+	m := Default()
+	if m.HomaNAPI+m.HomaRxPerPacket <= m.TCPRxPerPacket {
+		t.Fatal("Homa's two-stage receive (NAPI + protocol) must cost more per unmerged packet than TCP's")
+	}
+	if m.HomaNAPIMerged >= m.HomaNAPI {
+		t.Fatal("homa_gro-merged packets must be cheaper at the NAPI stage")
+	}
+	if m.TCPGROMerge >= m.TCPRxPerPacket {
+		t.Fatal("GRO-merged TCP packets must be cheaper than aggregate starters")
+	}
+	if m.HomaTxSegment >= m.TCPTxSegment {
+		t.Fatal("Homa per-segment transmit must be cheaper than TCP's")
+	}
+	if m.SMTRecord >= m.KTLSRecord {
+		t.Fatal("SMT record bookkeeping must undercut kTLS's")
+	}
+	if m.TCPLSRecord <= m.KTLSRecord {
+		t.Fatal("TCPLS must cost more per record than kTLS (stream mux)")
+	}
+	if m.UserTLSRecord <= m.KTLSRecord {
+		t.Fatal("user-space TLS must cost more per record than kTLS")
+	}
+	if m.NICResync >= m.NICCtxAlloc {
+		t.Fatal("resync must be cheaper than context allocation (§4.4.2)")
+	}
+	// 64 B software crypto must be dwarfed by a syscall: explains why HW
+	// offload gains little on tiny unloaded RPCs (§5.1).
+	if m.CryptoSW(64) > m.Syscall {
+		t.Fatal("tiny-record crypto should cost less than a syscall")
+	}
+}
+
+// Property: all cost helpers are monotone in size and non-negative.
+func TestCostMonotonicity(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.Serialize(x) <= m.Serialize(y) &&
+			m.Copy(x) <= m.Copy(y) &&
+			m.CryptoSW(x) <= m.CryptoSW(y) &&
+			m.Serialize(x) >= 0 && m.Copy(x) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package cpusim
+
+import (
+	"testing"
+
+	"smt/internal/cost"
+	"smt/internal/netsim"
+	"smt/internal/sim"
+	"smt/internal/wire"
+)
+
+type echoHandler struct {
+	steer   func(*wire.Packet, int) int
+	rxCost  sim.Time
+	handled []struct {
+		pkt  *wire.Packet
+		core int
+		at   sim.Time
+	}
+	eng *sim.Engine
+}
+
+func (e *echoHandler) SteerCore(p *wire.Packet, n int) int { return e.steer(p, n) }
+func (e *echoHandler) RxCost(p *wire.Packet) sim.Time      { return e.rxCost }
+func (e *echoHandler) HandlePacket(p *wire.Packet, core int) {
+	e.handled = append(e.handled, struct {
+		pkt  *wire.Packet
+		core int
+		at   sim.Time
+	}{p, core, e.eng.Now()})
+}
+
+func testPair(t *testing.T) (*sim.Engine, *netsim.Network, *Host, *Host) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cm := cost.Default()
+	net := netsim.New(eng, cm)
+	a := NewHost(eng, cm, net, 1, 4, 12)
+	b := NewHost(eng, cm, net, 2, 4, 12)
+	return eng, net, a, b
+}
+
+func TestDispatchStееrsAndCharges(t *testing.T) {
+	eng, net, _, b := testPair(t)
+	h := &echoHandler{eng: eng, rxCost: 1000, steer: func(p *wire.Packet, n int) int { return 3 }}
+	b.Bind(wire.ProtoHoma, 77, h)
+	p := &wire.Packet{
+		IP:      wire.IPv4Header{Protocol: wire.ProtoHoma, Src: 1, Dst: 2},
+		Overlay: wire.OverlayHeader{DstPort: 77, Type: wire.TypeData},
+	}
+	eng.At(0, func() { net.Deliver(p) })
+	eng.Run()
+	if len(h.handled) != 1 {
+		t.Fatalf("handled = %d", len(h.handled))
+	}
+	if h.handled[0].core != 3 {
+		t.Fatalf("core = %d, want 3", h.handled[0].core)
+	}
+	cm := cost.Default()
+	want := cm.PropDelay + cm.NICFixedDelay + 1000
+	if h.handled[0].at != want {
+		t.Fatalf("handled at %v, want %v", h.handled[0].at, want)
+	}
+	if b.Softirq[3].Busy != 1000 {
+		t.Fatal("rx cost not charged on softirq core")
+	}
+}
+
+func TestDispatchNoHandlerDrops(t *testing.T) {
+	eng, net, _, b := testPair(t)
+	p := &wire.Packet{IP: wire.IPv4Header{Protocol: wire.ProtoSMT, Dst: 2}, Overlay: wire.OverlayHeader{DstPort: 5}}
+	eng.At(0, func() { net.Deliver(p) })
+	eng.Run()
+	if b.DroppedNoHandler != 1 {
+		t.Fatalf("dropped = %d", b.DroppedNoHandler)
+	}
+}
+
+func TestHoLBAtCore(t *testing.T) {
+	// Two flows hash to the same core: the small message waits behind the
+	// large one — §2's head-of-line blocking at a CPU core.
+	eng, net, _, b := testPair(t)
+	big := &echoHandler{eng: eng, rxCost: 100 * sim.Microsecond, steer: func(*wire.Packet, int) int { return 0 }}
+	small := &echoHandler{eng: eng, rxCost: 1 * sim.Microsecond, steer: func(*wire.Packet, int) int { return 0 }}
+	b.Bind(wire.ProtoTCP, 1, big)
+	b.Bind(wire.ProtoTCP, 2, small)
+	mk := func(port uint16) *wire.Packet {
+		return &wire.Packet{IP: wire.IPv4Header{Protocol: wire.ProtoTCP, Dst: 2}, Overlay: wire.OverlayHeader{DstPort: port}}
+	}
+	eng.At(0, func() {
+		net.Deliver(mk(1))
+		net.Deliver(mk(2))
+	})
+	eng.Run()
+	if len(small.handled) != 1 {
+		t.Fatal("small not delivered")
+	}
+	if small.handled[0].at < 100*sim.Microsecond {
+		t.Fatalf("small finished at %v — did not queue behind big", small.handled[0].at)
+	}
+
+	// Steering the small flow to another core avoids the blocking — the
+	// message-transport advantage.
+	eng2 := sim.NewEngine(1)
+	cm := cost.Default()
+	net2 := netsim.New(eng2, cm)
+	b2 := NewHost(eng2, cm, net2, 2, 4, 12)
+	big2 := &echoHandler{eng: eng2, rxCost: 100 * sim.Microsecond, steer: func(*wire.Packet, int) int { return 0 }}
+	small2 := &echoHandler{eng: eng2, rxCost: 1 * sim.Microsecond, steer: func(*wire.Packet, int) int { return 1 }}
+	b2.Bind(wire.ProtoHoma, 1, big2)
+	b2.Bind(wire.ProtoHoma, 2, small2)
+	eng2.At(0, func() {
+		net2.Deliver(&wire.Packet{IP: wire.IPv4Header{Protocol: wire.ProtoHoma, Dst: 2}, Overlay: wire.OverlayHeader{DstPort: 1}})
+		net2.Deliver(&wire.Packet{IP: wire.IPv4Header{Protocol: wire.ProtoHoma, Dst: 2}, Overlay: wire.OverlayHeader{DstPort: 2}})
+	})
+	eng2.Run()
+	if small2.handled[0].at > 10*sim.Microsecond {
+		t.Fatalf("spread steering still blocked: %v", small2.handled[0].at)
+	}
+}
+
+func TestBindDuplicatePanics(t *testing.T) {
+	_, _, a, _ := testPair(t)
+	h := &echoHandler{steer: func(*wire.Packet, int) int { return 0 }}
+	a.Bind(wire.ProtoSMT, 1, h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate bind must panic")
+		}
+	}()
+	a.Bind(wire.ProtoSMT, 1, h)
+}
+
+func TestUnbindAndRebind(t *testing.T) {
+	_, _, a, _ := testPair(t)
+	h := &echoHandler{steer: func(*wire.Packet, int) int { return 0 }}
+	a.Bind(wire.ProtoSMT, 1, h)
+	a.Unbind(wire.ProtoSMT, 1)
+	a.Bind(wire.ProtoSMT, 1, h) // must not panic
+}
+
+func TestAllocPortDistinct(t *testing.T) {
+	_, _, a, _ := testPair(t)
+	seen := map[uint16]bool{}
+	for i := 0; i < 100; i++ {
+		p := a.AllocPort()
+		if seen[p] {
+			t.Fatal("duplicate port")
+		}
+		seen[p] = true
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	eng, _, a, _ := testPair(t)
+	eng.At(0, func() {
+		a.RunSoftirq(0, 100, nil)
+		a.RunSoftirq(1, 50, nil)
+		a.RunSoftirq(2, 200, nil)
+		if got := a.LeastLoadedSoftirq(); got != 3 { // core 3 idle
+			t.Errorf("least loaded softirq = %d, want 3", got)
+		}
+		a.RunApp(0, 10, nil)
+		if got := a.LeastLoadedApp(); got == 0 {
+			t.Error("least loaded app should not be busy core 0")
+		}
+	})
+	eng.Run()
+}
+
+func TestQueueMapping(t *testing.T) {
+	_, _, a, _ := testPair(t)
+	if a.AppQueue(0) == a.SoftirqQueue(0) {
+		t.Fatal("app and softirq queues must not collide")
+	}
+	if a.AppQueue(3) != 3 || a.SoftirqQueue(1) != 12+1 {
+		t.Fatalf("unexpected queue mapping: %d %d", a.AppQueue(3), a.SoftirqQueue(1))
+	}
+	if a.NIC.Queues() != 16 {
+		t.Fatalf("NIC queues = %d, want 16", a.NIC.Queues())
+	}
+}
+
+func TestCPUBusyAccounting(t *testing.T) {
+	eng, _, a, _ := testPair(t)
+	eng.At(0, func() {
+		a.RunApp(0, 100, nil)
+		a.RunSoftirq(0, 200, nil)
+	})
+	eng.Run()
+	app, sirq := a.CPUBusy()
+	if app != 100 || sirq != 200 {
+		t.Fatalf("busy = %v/%v", app, sirq)
+	}
+}

@@ -1,0 +1,71 @@
+// Package dcdns models the datacenter-internal DNS resolver that
+// distributes SMT-tickets (§4.5.2): the operator's CA doubles as the
+// resolver, serving each service's long-term ECDH share, certificate and
+// signature so clients can start 0-RTT exchanges without contacting the
+// server first. Tickets carry a validity window; the reference policy
+// rotates hourly to bound the 0-RTT replay exposure (§4.5.3).
+package dcdns
+
+import (
+	"fmt"
+
+	"smt/internal/handshake"
+	"smt/internal/sim"
+)
+
+// DefaultTTL is the recommended maximum ticket lifetime (§4.5.3).
+const DefaultTTL = sim.Time(3600) * sim.Second
+
+// Resolver maps service names to SMT-tickets.
+type Resolver struct {
+	eng     *sim.Engine
+	ttl     sim.Time
+	records map[string]*record
+
+	// Lookups / Hits count query traffic for observability.
+	Lookups uint64
+	Hits    uint64
+}
+
+type record struct {
+	id     *handshake.Identity
+	ticket *handshake.Ticket
+}
+
+// New creates a resolver with the given ticket TTL (0 = DefaultTTL).
+func New(eng *sim.Engine, ttl sim.Time) *Resolver {
+	if ttl == 0 {
+		ttl = DefaultTTL
+	}
+	return &Resolver{eng: eng, ttl: ttl, records: make(map[string]*record)}
+}
+
+// Register publishes a service identity under name, minting its first
+// ticket.
+func (r *Resolver) Register(name string, id *handshake.Identity) error {
+	t, err := handshake.NewTicket(id, r.eng.Now()+r.ttl)
+	if err != nil {
+		return err
+	}
+	r.records[name] = &record{id: id, ticket: t}
+	return nil
+}
+
+// Lookup returns the current SMT-ticket for name, re-minting it if the
+// stored one expired (hourly rotation).
+func (r *Resolver) Lookup(name string) (*handshake.Ticket, error) {
+	r.Lookups++
+	rec, ok := r.records[name]
+	if !ok {
+		return nil, fmt.Errorf("dcdns: no record for %q", name)
+	}
+	if r.eng.Now() > rec.ticket.Expiry {
+		t, err := handshake.NewTicket(rec.id, r.eng.Now()+r.ttl)
+		if err != nil {
+			return nil, err
+		}
+		rec.ticket = t
+	}
+	r.Hits++
+	return rec.ticket, nil
+}

@@ -1,0 +1,53 @@
+package dcdns
+
+import (
+	"testing"
+
+	"smt/internal/handshake"
+	"smt/internal/sim"
+)
+
+func TestRegisterLookup(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New(eng, 0)
+	id, err := handshake.NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("redis.svc", id); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := r.Lookup("redis.svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Verify(&id.SigKey.PublicKey, eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("nope"); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	if r.Lookups != 2 || r.Hits != 1 {
+		t.Fatalf("stats: %d/%d", r.Lookups, r.Hits)
+	}
+}
+
+func TestHourlyRotation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New(eng, sim.Time(3600)*sim.Second)
+	id, _ := handshake.NewIdentity()
+	_ = r.Register("svc", id)
+	t1, _ := r.Lookup("svc")
+	// Advance past expiry: the resolver must mint a fresh ticket.
+	eng.RunUntil(sim.Time(3601) * sim.Second)
+	t2, err := r.Lookup("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Expiry <= t1.Expiry {
+		t.Fatal("ticket not rotated after expiry")
+	}
+	if err := t2.Verify(&id.SigKey.PublicKey, eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+}

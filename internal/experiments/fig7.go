@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"smt/internal/ktls"
+	"smt/internal/rpc"
+	"smt/internal/sim"
+)
+
+// Fig7Concurrency and Fig7Sizes are the §5.2 sweep parameters.
+var (
+	Fig7Concurrency = []int{50, 100, 150, 200}
+	Fig7Sizes       = []int{64, 1024, 8192}
+)
+
+// TputRow is one (system, size, concurrency) throughput point.
+type TputRow struct {
+	System      string
+	Size        int
+	Concurrency int
+	// RPCsPerSec is the measured completion rate.
+	RPCsPerSec float64
+	MeanLatUs  float64
+	// ClientCPU/ServerCPU are busy fractions over the measurement
+	// window, for the §5.2 CPU-usage comparison.
+	ClientCPU float64
+	ServerCPU float64
+}
+
+// MeasureThroughput runs `streams` concurrent closed-loop RPC streams of
+// one size (response size = request size) and reports the completion
+// rate. spacing, when non-zero, rate-caps each stream (§5.2 CPU test).
+func MeasureThroughput(sys System, size, streams, mtu int, spacing sim.Time, seed int64) TputRow {
+	w := NewWorld(seed)
+	var cl *rpc.ClosedLoop
+	issue := sys.Setup(w, streams, mtuOrDefault(mtu), false, func(id uint64) { cl.Done(id) })
+	cl = rpc.NewClosedLoop(w.Eng, func(stream int, reqID uint64) {
+		issue(stream, reqID, size, size)
+	})
+	cl.StreamSpacing = spacing
+
+	// Warm 5 ms, measure 25 ms — long enough for tens of thousands of
+	// RPCs in virtual time, deterministic by construction.
+	start := w.Eng.Now()
+	warm := start + 5*sim.Millisecond
+	stop := start + 30*sim.Millisecond
+	cl.Start(streams, warm, stop)
+
+	// Track CPU busy over the measurement window only.
+	var cliApp0, cliSirq0, srvApp0, srvSirq0 sim.Time
+	w.Eng.At(warm, func() {
+		ca, cs := w.Client.CPUBusy()
+		sa, ss := w.Server.CPUBusy()
+		cliApp0, cliSirq0, srvApp0, srvSirq0 = ca, cs, sa, ss
+	})
+	w.Eng.RunUntil(stop)
+	cl.Stop()
+
+	ca, cs := w.Client.CPUBusy()
+	sa, ss := w.Server.CPUBusy()
+	window := (stop - warm).Seconds()
+	totalCores := float64(AppThreads + StackCores)
+	cliBusy := ((ca - cliApp0) + (cs - cliSirq0)).Seconds() / window / totalCores
+	srvBusy := ((sa - srvApp0) + (ss - srvSirq0)).Seconds() / window / totalCores
+
+	return TputRow{
+		System: sys.Name, Size: size, Concurrency: streams,
+		RPCsPerSec: cl.Throughput(),
+		MeanLatUs:  cl.Latency.Mean() / 1e3,
+		ClientCPU:  cliBusy,
+		ServerCPU:  srvBusy,
+	}
+}
+
+// Fig7 reproduces Figure 7: throughput over concurrency for three RPC
+// sizes across the six systems.
+func Fig7() []TputRow {
+	var rows []TputRow
+	for _, size := range Fig7Sizes {
+		for _, c := range Fig7Concurrency {
+			for _, sys := range Fig6Systems() {
+				rows = append(rows, MeasureThroughput(sys, size, c, 0, 0, 1000+int64(c)))
+			}
+		}
+	}
+	return rows
+}
+
+// Fig7JumboMTU reproduces the §5.2 "impact of a larger MTU" paragraph:
+// 8 KB RPCs at 50–150 concurrency with a 9 KB MTU, so one message fits a
+// single packet.
+func Fig7JumboMTU() []TputRow {
+	var rows []TputRow
+	for _, c := range []int{50, 100, 150} {
+		for _, mtu := range []int{1500, 9000} {
+			for _, sys := range []System{smtSystem(false), smtSystem(true)} {
+				r := MeasureThroughput(sys, 8192, c, mtu, 0, 2000+int64(c))
+				if mtu == 9000 {
+					r.System += "+9K"
+				}
+				rows = append(rows, r)
+			}
+		}
+	}
+	return rows
+}
+
+// CPUUsage reproduces the §5.2 CPU-usage comparison: 1 KB RPCs with all
+// systems rate-capped to the same request rate, reporting busy fractions.
+// The paper uses 1.2 M req/s; per-stream spacing realizes the cap.
+func CPUUsage(targetRate float64) []TputRow {
+	const streams = 150
+	spacing := sim.Time(float64(streams) / targetRate * 1e9)
+	var rows []TputRow
+	for _, sys := range []System{
+		ktlsSystem(ktls.ModeKTLSSW), ktlsSystem(ktls.ModeKTLSHW),
+		smtSystem(false), smtSystem(true),
+	} {
+		rows = append(rows, MeasureThroughput(sys, 1024, streams, 0, spacing, 77))
+	}
+	return rows
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"smt/internal/core"
+	"smt/internal/homa"
+	"smt/internal/ktls"
+	"smt/internal/kvstore"
+	"smt/internal/rpc"
+	"smt/internal/sim"
+	"smt/internal/tcpsim"
+	"smt/internal/ycsb"
+)
+
+// Fig8Row is one (system, workload, value size) Redis throughput point.
+type Fig8Row struct {
+	System    string
+	Workload  ycsb.Workload
+	Value     int
+	OpsPerSec float64
+}
+
+// fig8Keys is the database size for the YCSB runs.
+const fig8Keys = 10000
+
+// redisSystem wires a kvstore server behind a transport. The server is
+// single-threaded (app thread 0 on the server host), exactly like Redis:
+// all request parsing, DB work, response building and the send-path
+// costs (including software crypto) run there.
+type redisSystem struct {
+	name  string
+	setup func(w *World, streams, valueSize int, done func(reqID uint64, resp []byte)) func(stream int, reqID uint64, req []byte)
+}
+
+// kvWrap embeds a request id ahead of the kvstore request.
+func kvWrap(reqID uint64, req []byte) []byte {
+	return append(rpc.Encode(reqID, 0, rpc.MinSize), req...)
+}
+
+func kvUnwrap(m []byte) (uint64, []byte, bool) {
+	id, _, err := rpc.Decode(m)
+	if err != nil || len(m) < rpc.MinSize {
+		return 0, nil, false
+	}
+	return id, m[rpc.MinSize:], true
+}
+
+// msgSock adapts homa and SMT sockets to a common shape.
+type msgSock interface {
+	OnMessage(func(homa.Delivery))
+	Send(dst uint32, port uint16, payload []byte, thread int) uint64
+	Port() uint16
+}
+
+func redisOverMsg(name string, mkSock func(w *World, port uint16, server bool) msgSock) redisSystem {
+	return redisSystem{name: name, setup: func(w *World, streams, valueSize int, done func(uint64, []byte)) func(int, uint64, []byte) {
+		store := kvstore.New(w.CM, fig8Keys, valueSize)
+		srv := mkSock(w, ServerPort, true)
+		srv.OnMessage(func(d homa.Delivery) {
+			id, body, ok := kvUnwrap(d.Payload)
+			if !ok {
+				return
+			}
+			req, err := kvstore.DecodeRequest(body)
+			if err != nil {
+				return
+			}
+			resp, cpu := store.Execute(req)
+			// Single-threaded server: everything on thread 0.
+			w.Server.RunApp(0, cpu, func() {
+				srv.Send(d.Src, d.SrcPort, kvWrap(id, resp), 0)
+			})
+		})
+		cli := mkSock(w, 0, false)
+		cli.OnMessage(func(d homa.Delivery) {
+			if id, body, ok := kvUnwrap(d.Payload); ok {
+				done(id, body)
+			}
+		})
+		return func(stream int, reqID uint64, req []byte) {
+			cli.Send(ServerAddr, ServerPort, kvWrap(reqID, req), stream%AppThreads)
+		}
+	}}
+}
+
+func redisHoma() redisSystem {
+	return redisOverMsg("Homa", func(w *World, port uint16, server bool) msgSock {
+		cfg := homa.Config{Port: port}
+		if server {
+			cfg.AppThreads = []int{0}
+		}
+		host := w.Client
+		if server {
+			host = w.Server
+		}
+		return homa.NewSocket(host, cfg, nil)
+	})
+}
+
+func redisSMT(hw bool) redisSystem {
+	name := "SMT-sw"
+	if hw {
+		name = "SMT-hw"
+	}
+	var cliSock, srvSock *core.Socket
+	sys := redisSystem{name: name}
+	sys.setup = func(w *World, streams, valueSize int, done func(uint64, []byte)) func(int, uint64, []byte) {
+		base := redisOverMsg(name, func(w *World, port uint16, server bool) msgSock {
+			cfg := core.Config{HWOffload: hw, Transport: homa.Config{Port: port}}
+			if server {
+				cfg.Transport.AppThreads = []int{0}
+			}
+			host := w.Client
+			if server {
+				host = w.Server
+			}
+			s := core.NewSocket(host, cfg)
+			if server {
+				srvSock = s
+			} else {
+				cliSock = s
+			}
+			return s
+		})
+		issue := base.setup(w, streams, valueSize, done)
+		if err := core.PairSessions(cliSock, cliSock.Port(), srvSock, ServerPort, 31); err != nil {
+			panic(err)
+		}
+		return issue
+	}
+	return sys
+}
+
+// redisOverTCP wires the kvstore behind the TCP family with one
+// connection per client stream.
+func redisOverTCP(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) redisSystem {
+	return redisSystem{name: name, setup: func(w *World, streams, valueSize int, done func(uint64, []byte)) func(int, uint64, []byte) {
+		store := kvstore.New(w.CM, fig8Keys, valueSize)
+		tcpsim.Listen(w.Server, serverPortK, tcpsim.Config{}, func() tcpsim.Codec {
+			if mkSrv == nil {
+				return tcpsim.PlainCodec{}
+			}
+			return mkSrv(w)
+		}, func() int { return 0 /* single-threaded server */ }, func(c *tcpsim.Conn) {
+			c.OnMessage(func(m []byte) {
+				id, body, ok := kvUnwrap(m)
+				if !ok {
+					return
+				}
+				req, err := kvstore.DecodeRequest(body)
+				if err != nil {
+					return
+				}
+				resp, cpu := store.Execute(req)
+				w.Server.RunApp(0, cpu, func() { c.SendMessage(kvWrap(id, resp)) })
+			})
+		})
+		conns := make([]*tcpsim.Conn, streams)
+		for i := 0; i < streams; i++ {
+			var codec tcpsim.Codec
+			if mkCli != nil {
+				codec = mkCli(w)
+			}
+			c := tcpsim.Dial(w.Client, i%AppThreads, tcpsim.Config{}, codec, ServerAddr, serverPortK, nil)
+			c.OnMessage(func(m []byte) {
+				if id, body, ok := kvUnwrap(m); ok {
+					done(id, body)
+				}
+			})
+			conns[i] = c
+		}
+		w.Eng.RunUntil(w.Eng.Now() + 5*sim.Millisecond)
+		return func(stream int, reqID uint64, req []byte) {
+			conns[stream].SendMessage(kvWrap(reqID, req))
+		}
+	}}
+}
+
+// Fig8Systems is the §5.3 lineup: TCP, user-space TLS, kTLS-sw/hw, Homa,
+// SMT-sw/hw.
+func Fig8Systems() []redisSystem {
+	mk := func(mode ktls.Mode, seed byte) (func(*World) tcpsim.Codec, func(*World) tcpsim.Codec) {
+		return func(w *World) tcpsim.Codec {
+				ck, _ := ktls.PairKeys(seed)
+				c, err := ktls.New(w.CM, mode, ck)
+				if err != nil {
+					panic(err)
+				}
+				return c
+			}, func(w *World) tcpsim.Codec {
+				_, sk := ktls.PairKeys(seed)
+				c, err := ktls.New(w.CM, mode, sk)
+				if err != nil {
+					panic(err)
+				}
+				return c
+			}
+	}
+	uc, us := mk(ktls.ModeUserTLS, 41)
+	kc, ks := mk(ktls.ModeKTLSSW, 42)
+	hc, hs := mk(ktls.ModeKTLSHW, 43)
+	return []redisSystem{
+		redisOverTCP("TCP", nil, nil),
+		redisOverTCP("TLS", uc, us),
+		redisOverTCP("kTLS-sw", kc, ks),
+		redisOverTCP("kTLS-hw", hc, hs),
+		redisHoma(),
+		redisSMT(false),
+		redisSMT(true),
+	}
+}
+
+// MeasureRedis runs one (system, workload, value size) cell of Figure 8.
+func MeasureRedis(sys redisSystem, w8 ycsb.Workload, valueSize, streams int, seed int64) Fig8Row {
+	w := NewWorld(seed)
+	gen := ycsb.New(w8, fig8Keys, seed)
+	gen.MaxScanLen = 20
+	var cl *rpc.ClosedLoop
+	issue := sys.setup(w, streams, valueSize, func(id uint64, resp []byte) { cl.Done(id) })
+	value := make([]byte, valueSize)
+	cl = rpc.NewClosedLoop(w.Eng, func(stream int, reqID uint64) {
+		op := gen.Next()
+		var req kvstore.Request
+		switch op.Type {
+		case ycsb.OpRead:
+			req = kvstore.Request{Cmd: kvstore.CmdGet, Key: op.Key}
+		case ycsb.OpUpdate, ycsb.OpInsert:
+			req = kvstore.Request{Cmd: kvstore.CmdSet, Key: op.Key, Value: value}
+		case ycsb.OpScan:
+			req = kvstore.Request{Cmd: kvstore.CmdScan, Key: op.Key, ScanLen: uint16(op.ScanLen)}
+		}
+		issue(stream, reqID, kvstore.EncodeRequest(req))
+	})
+	start := w.Eng.Now()
+	warm := start + 5*sim.Millisecond
+	stop := start + 30*sim.Millisecond
+	cl.Start(streams, warm, stop)
+	w.Eng.RunUntil(stop)
+	cl.Stop()
+	return Fig8Row{System: sys.name, Workload: w8, Value: valueSize, OpsPerSec: cl.Throughput()}
+}
+
+// Fig8 reproduces Figure 8: YCSB A–E × value sizes 64 B / 1 KB / 4 KB.
+func Fig8() []Fig8Row {
+	var rows []Fig8Row
+	for _, v := range []int{64, 1024, 4096} {
+		for _, wl := range []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC, ycsb.WorkloadD, ycsb.WorkloadE} {
+			for _, sys := range Fig8Systems() {
+				rows = append(rows, MeasureRedis(sys, wl, v, 64, 333))
+			}
+		}
+	}
+	return rows
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"smt/internal/nvmeof"
+	"smt/internal/rpc"
+	"smt/internal/sim"
+	"smt/internal/stats"
+)
+
+// Fig9Row is one (system, iodepth) NVMe-oF latency point.
+type Fig9Row struct {
+	System  string
+	IODepth int
+	P50Us   float64
+	P99Us   float64
+	IOPS    float64
+}
+
+// MeasureNVMeoF runs FIO-style 4 KB random reads at the given iodepth
+// over one transport system. The in-kernel paths replace the app-level
+// echo handler: the target submits to the simulated SSD and responds
+// with the block; the initiator completes in kernel context. We model
+// the in-kernel discount by the smaller fixed costs and (for the
+// message-transport port) one extra copy of the 4 KB payload (§5.4).
+func MeasureNVMeoF(sys System, iodepth int, seed int64) Fig9Row {
+	w := NewWorld(seed)
+	ssd := nvmeof.NewSSD(w.Eng, nvmeof.DefaultChannels, nvmeof.DefaultReadLatency)
+	costs := nvmeof.DefaultCosts(w.CM)
+	extraCopy := sys.Name == "Homa" || sys.Name == "SMT-sw" || sys.Name == "SMT-hw"
+
+	var cl *rpc.ClosedLoop
+	lat := &stats.Histogram{}
+	// Reuse the generic echo systems; the SSD latency is charged at the
+	// server by delaying the response via the SSD model, and the
+	// in-kernel discounts/extra copy adjust the path.
+	issue := sys.Setup(w, iodepth, 0, false, func(id uint64) { cl.Done(id) })
+
+	rng := w.Eng.Rand()
+	cl = rpc.NewClosedLoop(w.Eng, func(stream int, reqID uint64) {
+		lba := uint64(rng.Intn(1 << 20))
+		// Target-side SSD read happens before the response can be
+		// generated; model it as added service time by deferring the
+		// issue's response through the SSD. Since the echo server
+		// responds immediately on delivery, we instead pre-charge the
+		// SSD access on the request path: the response leaves after
+		// media + fabric time, which preserves the latency composition.
+		ssd.Read(lba, func(block []byte) {
+			extra := costs.TargetFixed + costs.ClientFixed
+			if extraCopy {
+				extra += w.CM.Copy(nvmeof.BlockSize)
+			}
+			w.Eng.After(extra, func() {
+				issue(stream, reqID, rpc.MinSize+16, nvmeof.BlockSize)
+			})
+		})
+	})
+	start := w.Eng.Now()
+	warm := start + 10*sim.Millisecond
+	stop := start + 60*sim.Millisecond
+	cl.Start(iodepth, warm, stop)
+	w.Eng.RunUntil(stop)
+	cl.Stop()
+	lat.Merge(&cl.Latency)
+	// Add the SSD media time into the reported latency (it precedes the
+	// fabric exchange in this arrangement).
+	base := float64(nvmeof.DefaultReadLatency) / 1e3
+	return Fig9Row{
+		System: sys.Name, IODepth: iodepth,
+		P50Us: float64(lat.P50())/1e3 + base,
+		P99Us: float64(lat.P99())/1e3 + base,
+		IOPS:  cl.Throughput(),
+	}
+}
+
+// Fig9 reproduces Figure 9: P50/P99 NVMe-oF read latency over iodepth
+// for the six systems.
+func Fig9() []Fig9Row {
+	var rows []Fig9Row
+	for _, d := range []int{1, 2, 4, 6, 8} {
+		for _, sys := range Fig6Systems() {
+			rows = append(rows, MeasureNVMeoF(sys, d, 444))
+		}
+	}
+	return rows
+}

@@ -1,0 +1,249 @@
+// Package experiments contains one runner per table/figure of the
+// paper's evaluation (§5), wired from the simulated substrate. Each
+// runner returns plain row structs that cmd/smtbench renders and
+// EXPERIMENTS.md records against the paper's numbers.
+package experiments
+
+import (
+	"smt/internal/core"
+	"smt/internal/cost"
+	"smt/internal/cpusim"
+	"smt/internal/homa"
+	"smt/internal/ktls"
+	"smt/internal/netsim"
+	"smt/internal/rpc"
+	"smt/internal/sim"
+	"smt/internal/tcpls"
+	"smt/internal/tcpsim"
+	"smt/internal/wire"
+)
+
+// Testbed constants from §5: two hosts, one NUMA node each, 12 app
+// threads + 4 stack (softirq) threads per side, 100 GbE back-to-back.
+const (
+	ClientAddr  = 1
+	ServerAddr  = 2
+	ServerPort  = 7000
+	AppThreads  = 12
+	StackCores  = 4
+	serverPortK = 7443 // TCP-family server port
+)
+
+// World is one two-host testbed instance.
+type World struct {
+	Eng    *sim.Engine
+	Net    *netsim.Network
+	CM     *cost.Model
+	Client *cpusim.Host
+	Server *cpusim.Host
+}
+
+// NewWorld builds a fresh testbed with a deterministic seed.
+func NewWorld(seed int64) *World {
+	eng := sim.NewEngine(seed)
+	cm := cost.Default()
+	net := netsim.New(eng, cm)
+	return &World{
+		Eng: eng, Net: net, CM: cm,
+		Client: cpusim.NewHost(eng, cm, net, ClientAddr, StackCores, AppThreads),
+		Server: cpusim.NewHost(eng, cm, net, ServerAddr, StackCores, AppThreads),
+	}
+}
+
+// System is one line in the evaluation figures: a name plus a setup
+// function that wires an echo service and returns the request issuer.
+type System struct {
+	Name string
+	// Setup builds server+client endpoints for `streams` concurrent RPC
+	// streams under the given MTU. done is called on the client when a
+	// response arrives; issue sends a request on a stream. Setup may run
+	// the engine to pre-establish connections (as the paper's harness
+	// pre-establishes before measuring).
+	Setup func(w *World, streams, mtu int, noTSO bool, done func(reqID uint64)) (issue func(stream int, reqID uint64, size, respSize int))
+}
+
+// --- message-transport systems (Homa, SMT) ---
+
+func homaSystem() System {
+	return System{Name: "Homa", Setup: func(w *World, streams, mtu int, noTSO bool, done func(uint64)) func(int, uint64, int, int) {
+		threads := make([]int, AppThreads)
+		for i := range threads {
+			threads[i] = i
+		}
+		srv := homa.NewSocket(w.Server, homa.Config{Port: ServerPort, MTU: mtu, NoTSO: noTSO, AppThreads: threads}, nil)
+		srv.OnMessage(func(d homa.Delivery) {
+			id, respSize, err := rpc.Decode(d.Payload)
+			if err != nil {
+				return
+			}
+			w.Server.RunApp(d.AppThread, w.CM.AppLogic, func() {
+				srv.Send(d.Src, d.SrcPort, rpc.Encode(id, 0, int(respSize)), d.AppThread)
+			})
+		})
+		cli := homa.NewSocket(w.Client, homa.Config{MTU: mtu, NoTSO: noTSO}, nil)
+		cli.OnMessage(func(d homa.Delivery) {
+			if id, _, err := rpc.Decode(d.Payload); err == nil {
+				done(id)
+			}
+		})
+		return func(stream int, reqID uint64, size, respSize int) {
+			cli.Send(ServerAddr, ServerPort, rpc.Encode(reqID, uint32(respSize), size), stream%AppThreads)
+		}
+	}}
+}
+
+func smtSystem(hw bool) System {
+	name := "SMT-sw"
+	if hw {
+		name = "SMT-hw"
+	}
+	return System{Name: name, Setup: func(w *World, streams, mtu int, noTSO bool, done func(uint64)) func(int, uint64, int, int) {
+		threads := make([]int, AppThreads)
+		for i := range threads {
+			threads[i] = i
+		}
+		srv := core.NewSocket(w.Server, core.Config{
+			Transport: homa.Config{Port: ServerPort, MTU: mtu, NoTSO: noTSO, AppThreads: threads},
+			HWOffload: hw,
+		})
+		cli := core.NewSocket(w.Client, core.Config{
+			Transport: homa.Config{MTU: mtu, NoTSO: noTSO},
+			HWOffload: hw,
+		})
+		if err := core.PairSessions(cli, cli.Port(), srv, ServerPort, 11); err != nil {
+			panic(err)
+		}
+		srv.OnMessage(func(d homa.Delivery) {
+			id, respSize, err := rpc.Decode(d.Payload)
+			if err != nil {
+				return
+			}
+			w.Server.RunApp(d.AppThread, w.CM.AppLogic, func() {
+				srv.Send(d.Src, d.SrcPort, rpc.Encode(id, 0, int(respSize)), d.AppThread)
+			})
+		})
+		cli.OnMessage(func(d homa.Delivery) {
+			if id, _, err := rpc.Decode(d.Payload); err == nil {
+				done(id)
+			}
+		})
+		return func(stream int, reqID uint64, size, respSize int) {
+			cli.Send(ServerAddr, ServerPort, rpc.Encode(reqID, uint32(respSize), size), stream%AppThreads)
+		}
+	}}
+}
+
+// --- TCP-family systems ---
+
+// tcpFamily wires `streams` connections, one per RPC stream, through a
+// codec factory pair (client, server); nil factories mean plain TCP.
+func tcpFamily(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) System {
+	return System{Name: name, Setup: func(w *World, streams, mtu int, noTSO bool, done func(uint64)) func(int, uint64, int, int) {
+		cfg := tcpsim.Config{MTU: mtu}
+		nextThread := 0
+		tcpsim.Listen(w.Server, serverPortK, cfg, func() tcpsim.Codec {
+			if mkSrv == nil {
+				return tcpsim.PlainCodec{}
+			}
+			return mkSrv(w)
+		}, func() int {
+			t := nextThread
+			nextThread = (nextThread + 1) % AppThreads
+			return t
+		}, func(c *tcpsim.Conn) {
+			c.OnMessage(func(m []byte) {
+				id, respSize, err := rpc.Decode(m)
+				if err != nil {
+					return
+				}
+				w.Server.RunApp(c.AppThread(), w.CM.AppLogic, func() {
+					c.SendMessage(rpc.Encode(id, 0, int(respSize)))
+				})
+			})
+		})
+		conns := make([]*tcpsim.Conn, streams)
+		for i := 0; i < streams; i++ {
+			var codec tcpsim.Codec
+			if mkCli != nil {
+				codec = mkCli(w)
+			}
+			c := tcpsim.Dial(w.Client, i%AppThreads, cfg, codec, ServerAddr, serverPortK, nil)
+			c.OnMessage(func(m []byte) {
+				if id, _, err := rpc.Decode(m); err == nil {
+					done(id)
+				}
+			})
+			conns[i] = c
+		}
+		// Pre-establish all connections before measurement.
+		w.Eng.RunUntil(w.Eng.Now() + 5*sim.Millisecond)
+		return func(stream int, reqID uint64, size, respSize int) {
+			conns[stream].SendMessage(rpc.Encode(reqID, uint32(respSize), size))
+		}
+	}}
+}
+
+func tcpSystem() System {
+	return tcpFamily("TCP", nil, nil)
+}
+
+func ktlsSystem(mode ktls.Mode) System {
+	name := mode.String()
+	return tcpFamily(name,
+		func(w *World) tcpsim.Codec {
+			ck, _ := ktls.PairKeys(21)
+			c, err := ktls.New(w.CM, mode, ck)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		},
+		func(w *World) tcpsim.Codec {
+			_, sk := ktls.PairKeys(21)
+			c, err := ktls.New(w.CM, mode, sk)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		})
+}
+
+func tcplsSystem() System {
+	return tcpFamily("TCPLS",
+		func(w *World) tcpsim.Codec {
+			ck, _ := ktls.PairKeys(23)
+			c, err := tcpls.New(w.CM, ck)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		},
+		func(w *World) tcpsim.Codec {
+			_, sk := ktls.PairKeys(23)
+			c, err := tcpls.New(w.CM, sk)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		})
+}
+
+// Fig6Systems is the §5.1/§5.2 lineup.
+func Fig6Systems() []System {
+	return []System{
+		tcpSystem(),
+		ktlsSystem(ktls.ModeKTLSSW),
+		ktlsSystem(ktls.ModeKTLSHW),
+		homaSystem(),
+		smtSystem(false),
+		smtSystem(true),
+	}
+}
+
+// mtuOrDefault resolves an MTU argument.
+func mtuOrDefault(mtu int) int {
+	if mtu == 0 {
+		return wire.DefaultMTU
+	}
+	return mtu
+}

@@ -1,0 +1,215 @@
+// Package handshake implements SMT's key exchange (§4.5): the standard
+// TLS 1.3 1-RTT handshake, session resumption, and the SMT-ticket 0-RTT
+// exchange with and without forward secrecy, plus the Table 2 per-
+// operation cost breakdown.
+//
+// Functional fidelity: ECDH key agreement (P-256), ECDSA signatures and
+// the HKDF schedule run for real — the derived keys are real AEAD keys a
+// caller can register on an SMT socket. Timing fidelity: in-simulation
+// operation costs are charged from the paper's Table 2 measurements
+// (picotls on the authors' Xeon), recorded in OpCosts; MeasureTable2
+// additionally benchmarks this machine's Go crypto for the same rows.
+package handshake
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+
+	"smt/internal/core"
+	"smt/internal/hkdfx"
+	"smt/internal/sim"
+	"smt/internal/tlsrec"
+	"smt/internal/wire"
+)
+
+// Op identifies one Table 2 handshake operation.
+type Op int
+
+// Table 2 rows (server S*, client C*).
+const (
+	S1ProcessCHLO Op = iota
+	S2p1KeyGen
+	S2p2ECDH
+	S2p3SHLOGen
+	S2p4EECertEncode
+	S2p5CertVerifyGen
+	S2p6SecretDerive
+	S3ProcessFinished
+	C1p1KeyGen
+	C1p2OthersGen
+	C2p1ProcessSHLO
+	C2p2ECDH
+	C2p3SecretDerive
+	C3p1DecodeCert
+	C3p2VerifyCert
+	C4p1BuildSignData
+	C4p2VerifyCertVerify
+	C5ProcessFinished
+	numOps
+)
+
+// opNames gives the Table 2 labels.
+var opNames = [numOps]string{
+	"S1 Process CHLO", "S2.1 Key Gen", "S2.2 ECDH Exchange", "S2.3 SHLO Gen",
+	"S2.4 EE & Cert Encode", "S2.5 CertVerify Gen", "S2.6 Secret Derive",
+	"S3 Process Finished",
+	"C1.1 Key Gen", "C1.2 Others Gen", "C2.1 Process SHLO", "C2.2 ECDH Exchange",
+	"C2.3 Secret Derive", "C3.1 Decode Cert", "C3.2 Verify Cert",
+	"C4.1 Build Sign Data", "C4.2 Verify CertVerify", "C5 Process Finished",
+}
+
+// Name returns the Table 2 label for the operation.
+func (o Op) Name() string { return opNames[o] }
+
+// OpCosts are the paper's Table 2 measurements in nanoseconds (ECDSA-256
+// variant for the signature rows). They drive the in-simulation charge
+// for each operation.
+var OpCosts = [numOps]sim.Time{
+	S1ProcessCHLO:        1_800,
+	S2p1KeyGen:           67_900,
+	S2p2ECDH:             265_000,
+	S2p3SHLOGen:          75_200,
+	S2p4EECertEncode:     13_600,
+	S2p5CertVerifyGen:    137_600,
+	S2p6SecretDerive:     48_600,
+	S3ProcessFinished:    44_400,
+	C1p1KeyGen:           61_300,
+	C1p2OthersGen:        5_500,
+	C2p1ProcessSHLO:      2_600,
+	C2p2ECDH:             88_700,
+	C2p3SecretDerive:     48_800,
+	C3p1DecodeCert:       100,
+	C3p2VerifyCert:       483_400,
+	C4p1BuildSignData:    1_400,
+	C4p2VerifyCertVerify: 196_300,
+	C5ProcessFinished:    42_600,
+}
+
+// RSA variants for the two signature-dependent rows (Table 2's
+// "+with 2048-bit RSA" column).
+const (
+	RSACertVerifyGen    = sim.Time(1_344_000)
+	RSAVerifyCertVerify = sim.Time(67_100)
+)
+
+// ShortChainSpeedup is the §4.5.1 observation: a short chain with a
+// pre-installed CA key cuts Verify Cert by ≈52 %.
+const ShortChainSpeedup = 0.52
+
+// Mode selects the key-exchange variant of Figure 12.
+type Mode int
+
+// Figure 12 modes.
+const (
+	// Init1RTT is the standard TLS 1.3 initial handshake over the
+	// transport (baseline).
+	Init1RTT Mode = iota
+	// Init0RTT is the SMT-ticket 0-RTT exchange without forward secrecy:
+	// data rides the first flight under the SMT-key.
+	Init0RTT
+	// Init0RTTFS adds forward secrecy: the server's ServerHello carries
+	// an ephemeral share and both sides switch to the fs-key.
+	Init0RTTFS
+	// Rsmp is TLS 1.3 session resumption (PSK, no fresh ECDHE).
+	Rsmp
+	// RsmpFS is resumption with an ECDHE re-exchange (psk_dhe_ke).
+	RsmpFS
+)
+
+// String names the mode with the figure's labels.
+func (m Mode) String() string {
+	switch m {
+	case Init1RTT:
+		return "Init-1RTT"
+	case Init0RTT:
+		return "Init"
+	case Init0RTTFS:
+		return "Init-FS"
+	case Rsmp:
+		return "Rsmp"
+	case RsmpFS:
+		return "Rsmp-FS"
+	default:
+		return "unknown"
+	}
+}
+
+// Identity is one endpoint's long-term credentials.
+type Identity struct {
+	SigKey  *ecdsa.PrivateKey // certificate key (ECDSA P-256)
+	LongDH  *ecdh.PrivateKey  // long-term DH share published in SMT-tickets
+	CertRaw []byte            // placeholder certificate bytes (hash-signed)
+}
+
+// NewIdentity generates server credentials.
+func NewIdentity() (*Identity, error) {
+	sig, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("handshake: sig key: %w", err)
+	}
+	dh, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("handshake: dh key: %w", err)
+	}
+	cert := sha256.Sum256(append([]byte("smt-cert:"), dh.PublicKey().Bytes()...))
+	return &Identity{SigKey: sig, LongDH: dh, CertRaw: cert[:]}, nil
+}
+
+// Ticket is the SMT-ticket distributed through the datacenter DNS
+// (§4.5.2): the server's long-term ECDH share, its certificate, and a
+// signature over both by the certificate key.
+type Ticket struct {
+	ServerDH  []byte // long-term ECDH public key share
+	Cert      []byte
+	Signature []byte
+	// Expiry bounds the 0-RTT replay window (§4.5.3); the reference
+	// deployment rotates hourly.
+	Expiry sim.Time
+}
+
+// NewTicket mints a ticket for id, valid until expiry (virtual time).
+func NewTicket(id *Identity, expiry sim.Time) (*Ticket, error) {
+	pub := id.LongDH.PublicKey().Bytes()
+	digest := sha256.Sum256(append(append([]byte{}, pub...), id.Cert()...))
+	sig, err := ecdsa.SignASN1(rand.Reader, id.SigKey, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("handshake: ticket sign: %w", err)
+	}
+	return &Ticket{ServerDH: pub, Cert: id.Cert(), Signature: sig, Expiry: expiry}, nil
+}
+
+// Cert returns the identity's certificate bytes.
+func (id *Identity) Cert() []byte { return id.CertRaw }
+
+// Verify checks the ticket signature against the CA/server public key and
+// its expiry at virtual time now.
+func (t *Ticket) Verify(pub *ecdsa.PublicKey, now sim.Time) error {
+	if now > t.Expiry {
+		return fmt.Errorf("handshake: ticket expired")
+	}
+	digest := sha256.Sum256(append(append([]byte{}, t.ServerDH...), t.Cert...))
+	if !ecdsa.VerifyASN1(pub, digest[:], t.Signature) {
+		return fmt.Errorf("handshake: bad ticket signature")
+	}
+	return nil
+}
+
+// DeriveKeys turns an ECDH shared secret and transcript into mirrored
+// session keys for the two directions (client sees them as tx=client,
+// rx=server).
+func DeriveKeys(secret, transcript []byte) (client core.SessionKeys, server core.SessionKeys) {
+	master := hkdfx.Extract(nil, secret)
+	cKey := hkdfx.DeriveSecret(master, "c ap traffic", transcript)
+	sKey := hkdfx.DeriveSecret(master, "s ap traffic", transcript)
+	ck := hkdfx.ExpandLabel(cKey, "key", nil, tlsrec.Key128)
+	civ := hkdfx.ExpandLabel(cKey, "iv", nil, wire.GCMNonceLen)
+	sk := hkdfx.ExpandLabel(sKey, "key", nil, tlsrec.Key128)
+	siv := hkdfx.ExpandLabel(sKey, "iv", nil, wire.GCMNonceLen)
+	client = core.SessionKeys{TxKey: ck, TxIV: civ, RxKey: sk, RxIV: siv}
+	server = core.SessionKeys{TxKey: sk, TxIV: siv, RxKey: ck, RxIV: civ}
+	return
+}

@@ -1,0 +1,206 @@
+package handshake
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+
+	"smt/internal/core"
+	"smt/internal/cpusim"
+	"smt/internal/sim"
+)
+
+// Options tune a simulated exchange (§4.5.1 optimizations).
+type Options struct {
+	Mode Mode
+	// PreGeneratedKeys removes S2.1/C1.1 (standby key pairs).
+	PreGeneratedKeys bool
+	// ShortChain applies the §4.5.1 short-certificate-chain speedup to
+	// C3.2.
+	ShortChain bool
+	// RSA switches the signature rows to 2048-bit RSA costs.
+	RSA bool
+}
+
+// Result reports a completed simulated exchange.
+type Result struct {
+	// Done is the virtual time from start until both sides hold keys
+	// and the client's first RPC response arrived (Fig. 12's y-axis).
+	Done sim.Time
+	// Client/Server are the derived session keys.
+	Client core.SessionKeys
+	Server core.SessionKeys
+}
+
+// opCost returns the charged duration for op under opts.
+func opCost(op Op, opts Options) sim.Time {
+	c := OpCosts[op]
+	switch op {
+	case S2p5CertVerifyGen:
+		if opts.RSA {
+			c = RSACertVerifyGen
+		}
+	case C4p2VerifyCertVerify:
+		if opts.RSA {
+			c = RSAVerifyCertVerify
+		}
+	case C3p2VerifyCert:
+		if opts.ShortChain {
+			c = sim.Time(float64(c) * (1 - ShortChainSpeedup))
+		}
+	case S2p1KeyGen, C1p1KeyGen:
+		if opts.PreGeneratedKeys {
+			c = 0
+		}
+	}
+	return c
+}
+
+// Exchange runs the selected key-exchange variant between client and
+// server hosts in virtual time, performing the real ECDH/HKDF crypto and
+// charging Table 2 costs on the hosts' app cores. done receives the
+// result when the client holds verified keys (after its last
+// compute step plus the needed network flights).
+//
+// The message flights ride the transport's handshake packets in spirit;
+// for timing we model each flight as one small-packet one-way latency
+// (oneWay), which the caller measures for its configuration.
+func Exchange(cliHost, srvHost *cpusim.Host, oneWay sim.Time, opts Options, done func(Result)) {
+	eng := cliHost.Eng
+
+	// Real key material: ephemeral shares each side.
+	cliEph, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	srvEph, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	srvID, err := NewIdentity()
+	if err != nil {
+		panic(err)
+	}
+
+	deliver := func(after sim.Time, fn func()) { eng.After(after, fn) }
+
+	finish := func(secret []byte, transcript string, extra sim.Time) {
+		ck, sk := DeriveKeys(secret, []byte(transcript))
+		deliver(extra, func() {
+			done(Result{Done: eng.Now(), Client: ck, Server: sk})
+		})
+	}
+
+	chargeCli := func(ops []Op, fn func()) {
+		var total sim.Time
+		for _, op := range ops {
+			total += opCost(op, opts)
+		}
+		cliHost.RunApp(0, total, fn)
+	}
+	chargeSrv := func(ops []Op, fn func()) {
+		var total sim.Time
+		for _, op := range ops {
+			total += opCost(op, opts)
+		}
+		srvHost.RunApp(0, total, fn)
+	}
+
+	switch opts.Mode {
+	case Init1RTT:
+		// CHLO → (server flight) → SHLO..Finished → (client verify) →
+		// Finished → server processes. Keys usable at client after its
+		// verification; Fig. 12 counts handshake completion at the
+		// client (its Finished can accompany first data).
+		chargeCli([]Op{C1p1KeyGen, C1p2OthersGen}, func() {
+			deliver(oneWay, func() { // CHLO flight
+				chargeSrv([]Op{S1ProcessCHLO, S2p1KeyGen, S2p2ECDH, S2p3SHLOGen, S2p4EECertEncode, S2p5CertVerifyGen, S2p6SecretDerive}, func() {
+					deliver(oneWay, func() { // SHLO flight
+						chargeCli([]Op{C2p1ProcessSHLO, C2p2ECDH, C2p3SecretDerive, C3p1DecodeCert, C3p2VerifyCert, C4p1BuildSignData, C4p2VerifyCertVerify, C5ProcessFinished}, func() {
+							secret, err := cliEph.ECDH(srvEph.PublicKey())
+							if err != nil {
+								panic(err)
+							}
+							finish(secret, "init-1rtt", 0)
+						})
+					})
+				})
+			})
+		})
+
+	case Init0RTT, Init0RTTFS:
+		// The SMT-ticket (server long-term share + cert) came from DNS
+		// ahead of time and is already verified (removes C1.1, C3.1,
+		// C3.2; S2.1 is pre-generated) — §4.5.2.
+		chargeCli([]Op{C1p2OthersGen, C2p2ECDH, C2p3SecretDerive}, func() {
+			smtSecret, err := cliEph.ECDH(srvID.LongDH.PublicKey())
+			if err != nil {
+				panic(err)
+			}
+			deliver(oneWay, func() { // CHLO + 0-RTT data flight
+				if opts.Mode == Init0RTT {
+					// Server derives the SMT-key (its own ECDH against
+					// the client's ephemeral plus the extra application
+					// key derivation), records the CHLO random for
+					// replay defense (§4.5.3), and finishes the
+					// exchange; the client confirms via the server's
+					// Finished.
+					chargeSrv([]Op{S1ProcessCHLO, S2p2ECDH, S2p3SHLOGen, S2p6SecretDerive, S2p6SecretDerive, S3ProcessFinished}, func() {
+						deliver(oneWay, func() {
+							chargeCli([]Op{C2p1ProcessSHLO, C2p3SecretDerive, C5ProcessFinished}, func() {
+								finish(smtSecret, "smt-ticket", 0)
+							})
+						})
+					})
+					return
+				}
+				// Forward secrecy: the server also replies with an
+				// ephemeral share; both sides derive the fs-key
+				// (extra S2.2-class and C2.2-class exchanges).
+				chargeSrv([]Op{S1ProcessCHLO, S2p2ECDH, S2p6SecretDerive, S2p2ECDH, S2p3SHLOGen}, func() {
+					deliver(oneWay, func() {
+						chargeCli([]Op{C2p1ProcessSHLO, C2p2ECDH, C2p3SecretDerive}, func() {
+							fsSecret, err := cliEph.ECDH(srvEph.PublicKey())
+							if err != nil {
+								panic(err)
+							}
+							finish(fsSecret, "smt-ticket-fs", 0)
+						})
+					})
+				})
+			})
+		})
+
+	case Rsmp, RsmpFS:
+		// PSK resumption: no certificate processing; keys pre-generated
+		// at both ends (§5.6). RsmpFS adds a fresh ECDHE (psk_dhe_ke):
+		// the S2.2 + C2.2 pair, ≈354 µs — the margin the paper reports.
+		psk := []byte("resumption-psk-from-prior-session")
+		chargeCli([]Op{C1p2OthersGen}, func() {
+			deliver(oneWay, func() {
+				srvOps := []Op{S1ProcessCHLO, S2p3SHLOGen, S2p6SecretDerive}
+				if opts.Mode == RsmpFS {
+					srvOps = append(srvOps, S2p2ECDH)
+				}
+				chargeSrv(srvOps, func() {
+					deliver(oneWay, func() {
+						cliOps := []Op{C2p1ProcessSHLO, C2p3SecretDerive, C5ProcessFinished}
+						if opts.Mode == RsmpFS {
+							cliOps = append(cliOps, C2p2ECDH)
+						}
+						chargeCli(cliOps, func() {
+							secret := psk
+							if opts.Mode == RsmpFS {
+								s, err := cliEph.ECDH(srvEph.PublicKey())
+								if err != nil {
+									panic(err)
+								}
+								secret = append(secret, s...)
+							}
+							finish(secret, "resumption", 0)
+						})
+					})
+				})
+			})
+		})
+	}
+}

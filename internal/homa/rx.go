@@ -1,0 +1,404 @@
+package homa
+
+import (
+	"smt/internal/sim"
+	"smt/internal/wire"
+)
+
+// inSeg tracks reassembly of one TSO segment from packets, keyed by the
+// tuple (message ID, TSO offset); packet position comes from the IPID
+// (or the Resend-packet-offset for retransmissions) — §4.3.
+type inSeg struct {
+	plainOff int
+	plainLen int
+	wireLen  int
+	buf      []byte
+	have     []bool
+	got      int
+	complete bool
+}
+
+// inMsg tracks one incoming message.
+type inMsg struct {
+	id        uint64
+	pk        peerKey
+	msgLen    int
+	segs      []*inSeg
+	completed int
+	plainDone int // plaintext bytes in completed segments
+	granted   int
+	delivered bool
+	core      int // softirq core affinity
+	timer     *sim.Timer
+}
+
+// handler adapts Socket to cpusim.Handler. It is the softirq half of the
+// stack.
+type handler Socket
+
+func (h *handler) sock() *Socket { return (*Socket)(h) }
+
+// SteerCore implements cpusim.Handler: the NAPI/GRO stage always runs on
+// the flow-hash core — Homa traffic between two hosts shares one 5-tuple,
+// so this stage serializes on a single core (§5.2's softirq bottleneck).
+// Per-message redistribution happens afterwards in HandlePacket.
+func (h *handler) SteerCore(pkt *wire.Packet, ncores int) int {
+	return int(pkt.Flow().FastHash() % uint64(ncores))
+}
+
+// RxCost implements cpusim.Handler: the NAPI stage cost. Back-to-back
+// packets of the same message are homa_gro-merged (cheap); interleaved
+// traffic — the norm under multi-queue load, since the sender's NIC
+// round-robins its queues — pays the full per-packet cost.
+func (h *handler) RxCost(pkt *wire.Packet) sim.Time {
+	s := h.sock()
+	cm := s.host.CM
+	if pkt.Overlay.Type != wire.TypeData {
+		return cm.HomaGrant
+	}
+	now := s.host.Eng.Now()
+	k := msgKey{peerKey{pkt.IP.Src, pkt.Overlay.SrcPort}, pkt.Overlay.MsgID}
+	var c sim.Time
+	if k == s.groLastMsg && now-s.groLastRx <= 2*sim.Microsecond {
+		c = cm.HomaNAPIMerged
+	} else {
+		c = cm.HomaNAPI
+	}
+	s.groLastMsg = k
+	s.groLastRx = now
+	return c
+}
+
+// HandlePacket implements cpusim.Handler; it runs on the NAPI core. DATA
+// packets are redistributed to their message's protocol core (Homa's
+// dynamic distribution of messages across cores within one flow 5-tuple,
+// §2.2), where per-packet protocol cost is charged.
+func (h *handler) HandlePacket(pkt *wire.Packet, core int) {
+	s := h.sock()
+	switch pkt.Overlay.Type {
+	case wire.TypeData:
+		cm := s.host.CM
+		k := msgKey{peerKey{pkt.IP.Src, pkt.Overlay.SrcPort}, pkt.Overlay.MsgID}
+		msgCore, ok := s.msgCore[k]
+		cost := cm.HomaRxPerPacket
+		if !ok {
+			msgCore = s.host.LeastLoadedSoftirq()
+			s.msgCore[k] = msgCore
+			cost += cm.HomaRxMsgFixed
+		}
+		s.host.RunSoftirq(msgCore, cost, func() { s.rxData(pkt, msgCore) })
+	case wire.TypeGrant:
+		s.rxGrant(pkt, core)
+	case wire.TypeResend:
+		s.rxResend(pkt, core)
+	case wire.TypeAck:
+		s.rxAck(pkt)
+	case wire.TypeBusy:
+		// Reserved: the peer signals it is alive but not sending yet.
+	case wire.TypeHandshake:
+		if s.onHandshake != nil {
+			s.onHandshake(pkt, core)
+		}
+	}
+}
+
+func (s *Socket) rxData(pkt *wire.Packet, core int) {
+	pk := peerKey{pkt.IP.Src, pkt.Overlay.SrcPort}
+	p := s.peerFor(pk)
+	id := pkt.Overlay.MsgID
+	m, ok := p.in[id]
+	if !ok {
+		if p.done[id] {
+			s.Stats.SpuriousPkts++
+			return // late duplicate of a completed message
+		}
+		if m = s.newInMsg(p, pkt, core); m == nil {
+			return // replay or garbage: dropped without decryption
+		}
+	}
+	if m.delivered {
+		s.Stats.SpuriousPkts++
+		return
+	}
+
+	span := p.codec.SegSpan()
+	segIdx := int(pkt.Overlay.TSOOffset) / span
+	if segIdx < 0 || segIdx >= len(m.segs) || int(pkt.Overlay.TSOOffset)%span != 0 {
+		s.Stats.SpuriousPkts++
+		return
+	}
+	seg := m.segs[segIdx]
+
+	per := s.cfg.MTU - wire.IPv4HeaderLen - wire.OverlayHeaderLen
+	pktIdx := int(pkt.IP.ID)
+	if pkt.Overlay.Flags&wire.FlagRetransmit != 0 {
+		pktIdx = int(pkt.Overlay.ResendPktOff)
+	}
+	if pktIdx < 0 || pktIdx >= len(seg.have) {
+		s.Stats.SpuriousPkts++
+		return
+	}
+	if seg.have[pktIdx] {
+		s.Stats.SpuriousPkts++
+		return
+	}
+	off := pktIdx * per
+	if off+len(pkt.Payload) > seg.wireLen {
+		s.Stats.SpuriousPkts++
+		return
+	}
+	copy(seg.buf[off:], pkt.Payload)
+	seg.have[pktIdx] = true
+	seg.got++
+	s.Stats.BytesRecv += uint64(len(pkt.Payload))
+
+	if seg.got == len(seg.have) && !seg.complete {
+		seg.complete = true
+		m.completed++
+		m.plainDone += seg.plainLen
+	}
+	s.progress(p, m, core)
+}
+
+// newInMsg registers an unseen message, enforcing codec admission
+// (replay protection for SMT).
+func (s *Socket) newInMsg(p *peer, pkt *wire.Packet, core int) *inMsg {
+	msgLen := int(pkt.Overlay.MsgLen)
+	if msgLen <= 0 {
+		return nil
+	}
+	if err := p.codec.AcceptMessage(pkt.Overlay.MsgID); err != nil {
+		s.Stats.Replays++
+		return nil
+	}
+	span := p.codec.SegSpan()
+	m := &inMsg{
+		id:      pkt.Overlay.MsgID,
+		pk:      p.key,
+		msgLen:  msgLen,
+		granted: s.cfg.UnschedBytes,
+		core:    core,
+	}
+	for off := 0; off < msgLen; off += span {
+		n := span
+		if off+n > msgLen {
+			n = msgLen - off
+		}
+		wl := p.codec.WireLen(off, n)
+		m.segs = append(m.segs, &inSeg{
+			plainOff: off, plainLen: n, wireLen: wl,
+			buf:  make([]byte, wl),
+			have: make([]bool, nPkts(wl, s.cfg.MTU)),
+		})
+	}
+	p.in[m.id] = m
+	s.activeIn++
+	// SRPT/grant bookkeeping: registering a message scans the active-RPC
+	// structures, whose size grows with receive concurrency (a known
+	// Homa/Linux scalability cost; bounded by HomaScanCap).
+	if n := s.activeIn; n > 1 {
+		if cap := s.host.CM.HomaScanCap; cap > 0 && n > cap {
+			n = cap
+		}
+		s.host.RunSoftirq(core, s.host.CM.HomaActiveScan*sim.Time(n), nil)
+	}
+	s.armResendTimer(p, m)
+	return m
+}
+
+// progress advances grants and completes the message when everything has
+// arrived.
+func (s *Socket) progress(p *peer, m *inMsg, core int) {
+	if m.completed == len(m.segs) {
+		s.complete(p, m, core)
+		return
+	}
+	// Receiver-driven pacing: grants track *received bytes* continuously
+	// (Homa grants on packet arrival, not segment completion), keeping
+	// RTTBytes of granted-but-unreceived data open. Grants are rounded
+	// up to segment boundaries since the sender pushes whole segments.
+	if m.msgLen > s.cfg.UnschedBytes {
+		received := m.plainDone
+		for _, seg := range m.segs {
+			if !seg.complete && seg.got > 0 {
+				received += seg.plainLen * seg.got / len(seg.have)
+			}
+		}
+		want := received + s.cfg.RTTBytes
+		span := p.codec.SegSpan()
+		want = ((want + span - 1) / span) * span
+		if want > m.msgLen {
+			want = m.msgLen
+		}
+		if want > m.granted {
+			m.granted = want
+			s.Stats.GrantsSent++
+			s.host.RunSoftirq(core, s.host.CM.HomaGrant, func() {
+				s.ctrl(m.pk, wire.TypeGrant, m.id, 0, uint32(want), core)
+			})
+		}
+	}
+}
+
+// complete finishes reassembly and delivers to an app thread — wakeup,
+// copy and codec decode (SMT decryption) all charge in the application
+// context, matching where recvmsg work happens. The ACK that lets the
+// sender free its state is only sent after the message *verifies*:
+// a corrupted message must still be recoverable via RESEND (§6.1).
+func (s *Socket) complete(p *peer, m *inMsg, core int) {
+	if m.delivered {
+		return
+	}
+	m.delivered = true
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+	cm := s.host.CM
+	s.host.RunSoftirq(core, cm.WakeupCPU, nil)
+
+	thread := s.pickAppThread()
+	s.host.Eng.After(cm.WakeupLatency, func() {
+		// Decode (and decrypt) each segment, summing the CPU the app
+		// context owes; a corrupted segment re-enters recovery.
+		var cpu sim.Time = cm.Syscall + cm.MsgDeliver + cm.Copy(m.msgLen)
+		payload := make([]byte, 0, m.msgLen)
+		for _, seg := range m.segs {
+			plain, c, err := p.codec.Decode(m.id, m.msgLen, seg.plainOff, seg.buf[:seg.wireLen])
+			cpu += c
+			if err != nil {
+				s.corruptSegment(p, m, seg, core)
+				return
+			}
+			payload = append(payload, plain...)
+		}
+		delete(p.in, m.id)
+		delete(s.msgCore, msgKey{m.pk, m.id})
+		p.markDone(m.id)
+		s.activeIn--
+		s.host.RunApp(thread, cpu, func() {
+			s.ctrl(m.pk, wire.TypeAck, m.id, 0, 0, core)
+			s.Stats.MsgsDelivered++
+			if s.onMessage != nil {
+				s.onMessage(Delivery{
+					Src: m.pk.addr, SrcPort: m.pk.port,
+					MsgID: m.id, Payload: payload,
+					AppThread: thread, Recv: s.host.Eng.Now(),
+				})
+			}
+		})
+	})
+}
+
+// corruptSegment handles an authentication failure (e.g. NIC offload
+// corruption): the segment is reset and re-requested via RESEND.
+func (s *Socket) corruptSegment(p *peer, m *inMsg, seg *inSeg, core int) {
+	s.Stats.CorruptSegs++
+	m.delivered = false
+	seg.complete = false
+	seg.got = 0
+	for i := range seg.have {
+		seg.have[i] = false
+	}
+	m.completed--
+	m.plainDone -= seg.plainLen
+	s.Stats.ResendsSent++
+	s.ctrl(m.pk, wire.TypeResend, m.id, uint32(seg.plainOff), uint32(seg.plainLen), core)
+	s.armResendTimer(p, m)
+}
+
+// pickAppThread selects the delivery thread: the configured set (server
+// worker pool) or any least-loaded app core.
+func (s *Socket) pickAppThread() int {
+	if len(s.cfg.AppThreads) == 0 {
+		return s.host.LeastLoadedApp()
+	}
+	best := s.cfg.AppThreads[0]
+	bestD := s.host.App[best%len(s.host.App)].QueueDelay()
+	for _, t := range s.cfg.AppThreads[1:] {
+		if d := s.host.App[t%len(s.host.App)].QueueDelay(); d < bestD {
+			best, bestD = t, d
+		}
+	}
+	return best
+}
+
+// armResendTimer (re)arms the receiver's missing-data timer: if the
+// message is still incomplete when it fires, RESEND the first incomplete
+// segment.
+func (s *Socket) armResendTimer(p *peer, m *inMsg) {
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+	m.timer = s.host.Eng.After(s.cfg.ResendTimeout, func() {
+		if m.delivered {
+			return
+		}
+		for _, seg := range m.segs {
+			if !seg.complete && seg.plainOff < m.granted {
+				s.Stats.ResendsSent++
+				s.ctrl(m.pk, wire.TypeResend, m.id, uint32(seg.plainOff), uint32(seg.plainLen), m.core)
+				break
+			}
+		}
+		s.armResendTimer(p, m)
+	})
+}
+
+// rxGrant lets the sender push more segments from the pacer (softirq)
+// context.
+func (s *Socket) rxGrant(pkt *wire.Packet, core int) {
+	p, ok := s.peers[peerKey{pkt.IP.Src, pkt.Overlay.SrcPort}]
+	if !ok {
+		return
+	}
+	m, ok := p.out[pkt.Overlay.MsgID]
+	if !ok || m.acked {
+		return
+	}
+	if g := int(pkt.Overlay.Aux); g > m.granted {
+		m.granted = g
+	}
+	s.pump(p, m, s.host.SoftirqQueue(core), core, false)
+}
+
+// rxResend retransmits the requested range (whole segments).
+func (s *Socket) rxResend(pkt *wire.Packet, core int) {
+	p, ok := s.peers[peerKey{pkt.IP.Src, pkt.Overlay.SrcPort}]
+	if !ok {
+		return
+	}
+	m, ok := p.out[pkt.Overlay.MsgID]
+	if !ok || m.acked {
+		return
+	}
+	span := p.codec.SegSpan()
+	from := int(pkt.Overlay.TSOOffset)
+	to := from + int(pkt.Overlay.Aux)
+	for seg := 0; seg < len(m.segSent); seg++ {
+		start := seg * span
+		if start >= to || start+span <= from {
+			continue
+		}
+		n := span
+		if start+n > len(m.payload) {
+			n = len(m.payload) - start
+		}
+		m.segSent[seg] = true
+		s.submitSegment(p, m, start, n, s.host.SoftirqQueue(core), core, false, true)
+	}
+}
+
+// rxAck frees sender-side message state.
+func (s *Socket) rxAck(pkt *wire.Packet) {
+	p, ok := s.peers[peerKey{pkt.IP.Src, pkt.Overlay.SrcPort}]
+	if !ok {
+		return
+	}
+	if m, ok := p.out[pkt.Overlay.MsgID]; ok {
+		m.acked = true
+		if m.timer != nil {
+			m.timer.Stop()
+		}
+		delete(p.out, pkt.Overlay.MsgID)
+	}
+}

@@ -1,0 +1,433 @@
+package homa
+
+import (
+	"fmt"
+
+	"smt/internal/cpusim"
+	"smt/internal/nicsim"
+	"smt/internal/sim"
+	"smt/internal/wire"
+)
+
+// Config tunes a Socket. Zero fields take defaults from DefaultConfig.
+type Config struct {
+	// Port is the local port; 0 allocates an ephemeral one.
+	Port uint16
+	// UnschedBytes is sent without waiting for grants (first-RTT data).
+	UnschedBytes int
+	// RTTBytes is the grant window the receiver keeps open per message.
+	RTTBytes int
+	// MTU is the wire MTU (DefaultMTU or JumboMTU in the evaluation).
+	MTU int
+	// NoTSO makes the stack cut packets in software (Fig. 11 ablation):
+	// each MTU packet is submitted individually at per-packet CPU cost.
+	NoTSO bool
+	// ResendTimeout is the receiver's missing-data timer.
+	ResendTimeout sim.Time
+	// SenderTimeout re-pushes the first segment if a message makes no
+	// progress (covers the all-unscheduled-packets-lost case).
+	SenderTimeout sim.Time
+	// AppThreads lists the application threads eligible to receive
+	// message deliveries; nil means any app core (least loaded).
+	AppThreads []int
+	// Proto is the IP protocol number (ProtoHoma or ProtoSMT).
+	Proto uint8
+}
+
+// DefaultConfig returns the evaluation defaults.
+func DefaultConfig() Config {
+	return Config{
+		UnschedBytes:  60000,
+		RTTBytes:      60000,
+		MTU:           wire.DefaultMTU,
+		ResendTimeout: 2 * sim.Millisecond,
+		SenderTimeout: 5 * sim.Millisecond,
+		Proto:         wire.ProtoHoma,
+	}
+}
+
+// Delivery is a fully reassembled (and, under SMT, decrypted and
+// verified) incoming message handed to the application.
+type Delivery struct {
+	Src       uint32
+	SrcPort   uint16
+	MsgID     uint64
+	Payload   []byte
+	AppThread int      // thread the delivery ran on
+	Recv      sim.Time // virtual time of delivery to the app
+}
+
+// Stats counts socket-level events.
+type Stats struct {
+	MsgsSent      uint64
+	MsgsDelivered uint64
+	BytesSent     uint64
+	BytesRecv     uint64
+	GrantsSent    uint64
+	ResendsSent   uint64
+	Retransmits   uint64
+	Replays       uint64
+	CorruptSegs   uint64
+	SpuriousPkts  uint64
+}
+
+type peerKey struct {
+	addr uint32
+	port uint16
+}
+
+// Socket is one endpoint of the message transport bound to (proto, port)
+// on a host. It can exchange messages with many peers; per-peer state
+// (codec, message ID spaces) is kept in peer structs, matching an SMT
+// session per flow 5-tuple.
+type Socket struct {
+	host  *cpusim.Host
+	cfg   Config
+	port  uint16
+	newCo func(peer peerKey) Codec
+
+	peers       map[peerKey]*peer
+	msgCore     map[msgKey]int // per-message softirq core affinity
+	onMessage   func(Delivery)
+	onHandshake func(*wire.Packet, int)
+	closed      bool
+	// activeIn counts registered-but-undelivered incoming messages,
+	// driving the SRPT bookkeeping cost.
+	activeIn int
+	// groLastMsg/groLastRx track homa_gro aggregation state.
+	groLastMsg msgKey
+	groLastRx  sim.Time
+
+	Stats Stats
+}
+
+type msgKey struct {
+	pk peerKey
+	id uint64
+}
+
+type peer struct {
+	key       peerKey
+	codec     Codec
+	nextMsgID uint64
+	out       map[uint64]*outMsg
+	in        map[uint64]*inMsg
+	// done remembers recently delivered incoming message IDs so late
+	// duplicates of completed messages are discarded; SMT's MsgIDGuard
+	// subsumes this, but vanilla Homa needs its own bounded memory.
+	done     map[uint64]bool
+	doneRing []uint64
+}
+
+// doneCap bounds the recently-completed memory per peer.
+const doneCap = 4096
+
+func (p *peer) markDone(id uint64) {
+	if len(p.doneRing) >= doneCap {
+		delete(p.done, p.doneRing[0])
+		p.doneRing = p.doneRing[1:]
+	}
+	p.done[id] = true
+	p.doneRing = append(p.doneRing, id)
+}
+
+// NewSocket binds a socket on host. codecFactory builds the per-peer
+// codec (session); pass nil for vanilla Homa.
+func NewSocket(host *cpusim.Host, cfg Config, codecFactory func(peerAddr uint32, peerPort uint16) Codec) *Socket {
+	d := DefaultConfig()
+	if cfg.UnschedBytes == 0 {
+		cfg.UnschedBytes = d.UnschedBytes
+	}
+	if cfg.RTTBytes == 0 {
+		cfg.RTTBytes = d.RTTBytes
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = d.MTU
+	}
+	if cfg.ResendTimeout == 0 {
+		cfg.ResendTimeout = d.ResendTimeout
+	}
+	if cfg.SenderTimeout == 0 {
+		cfg.SenderTimeout = d.SenderTimeout
+	}
+	if cfg.Proto == 0 {
+		cfg.Proto = d.Proto
+	}
+	s := &Socket{
+		host:    host,
+		cfg:     cfg,
+		peers:   make(map[peerKey]*peer),
+		msgCore: make(map[msgKey]int),
+	}
+	if codecFactory == nil {
+		shared := &PlainCodec{}
+		codecFactory = func(uint32, uint16) Codec { return shared }
+	}
+	s.newCo = func(pk peerKey) Codec { return codecFactory(pk.addr, pk.port) }
+	if cfg.Port == 0 {
+		cfg.Port = host.AllocPort()
+	}
+	s.port = cfg.Port
+	s.cfg = cfg
+	host.Bind(cfg.Proto, s.port, (*handler)(s))
+	return s
+}
+
+// Port reports the bound local port.
+func (s *Socket) Port() uint16 { return s.port }
+
+// Host returns the owning host.
+func (s *Socket) Host() *cpusim.Host { return s.host }
+
+// Config returns the socket configuration.
+func (s *Socket) Config() Config { return s.cfg }
+
+// OnMessage registers the delivery callback (one per socket).
+func (s *Socket) OnMessage(fn func(Delivery)) { s.onMessage = fn }
+
+// OnHandshake registers a raw handler for TypeHandshake packets; the
+// key-exchange layer (§4.5) uses it to run before session keys exist.
+func (s *Socket) OnHandshake(fn func(*wire.Packet, int)) { s.onHandshake = fn }
+
+// SendHandshake transmits a single-packet handshake payload to a peer
+// from softirq context (first-RTT key exchange traffic).
+func (s *Socket) SendHandshake(dstAddr uint32, dstPort uint16, payload []byte, core int) {
+	pkt := &wire.Packet{
+		IP: wire.IPv4Header{TTL: 64, Protocol: s.cfg.Proto, Src: s.host.Addr, Dst: dstAddr},
+		Overlay: wire.OverlayHeader{
+			SrcPort: s.port, DstPort: dstPort,
+			Type: wire.TypeHandshake, MsgLen: uint32(len(payload)),
+		},
+		Payload: append([]byte(nil), payload...),
+	}
+	s.host.NIC.SendSegment(s.host.SoftirqQueue(core), &nicsim.TxSegment{Pkt: pkt, MTU: s.cfg.MTU, NoTSO: true})
+}
+
+// Close unbinds the socket.
+func (s *Socket) Close() {
+	if !s.closed {
+		s.host.Unbind(s.cfg.Proto, s.port)
+		s.closed = true
+	}
+}
+
+func (s *Socket) peerFor(pk peerKey) *peer {
+	p, ok := s.peers[pk]
+	if !ok {
+		p = &peer{
+			key:   pk,
+			codec: s.newCo(pk),
+			out:   make(map[uint64]*outMsg),
+			in:    make(map[uint64]*inMsg),
+			done:  make(map[uint64]bool),
+		}
+		s.peers[pk] = p
+	}
+	return p
+}
+
+// Peer returns the codec associated with a peer, creating the peer state
+// if needed (used by SMT to register session keys ahead of traffic).
+func (s *Socket) Peer(addr uint32, port uint16) Codec {
+	return s.peerFor(peerKey{addr, port}).codec
+}
+
+// SetCodec installs (or replaces) the codec for a peer — the transport
+// half of SMT's "register the negotiated keys on the socket" step
+// (§4.2, the setsockopt analog). Replacing the codec resets the secure
+// session; in-flight messages of the old session will fail decode and be
+// recovered or dropped, exactly as a rekey behaves.
+func (s *Socket) SetCodec(addr uint32, port uint16, c Codec) {
+	s.peerFor(peerKey{addr, port}).codec = c
+}
+
+// ---- Send path ----
+
+type outMsg struct {
+	id        uint64
+	pk        peerKey
+	payload   []byte
+	segSent   []bool
+	granted   int
+	acked     bool
+	appThread int
+	timer     *sim.Timer
+}
+
+// nSegs returns the number of TSO segments for a message of n plaintext
+// bytes under span.
+func nSegs(n, span int) int { return (n + span - 1) / span }
+
+// Send transmits payload to dst as one message. It charges the syscall
+// and user-to-kernel copy on appThread's core, then submits unscheduled
+// segments from that context; granted segments follow from softirq
+// context as GRANTs arrive (§3.2's multi-context transmission). The
+// returned message ID identifies the message in this socket→peer
+// direction.
+func (s *Socket) Send(dstAddr uint32, dstPort uint16, payload []byte, appThread int) uint64 {
+	if len(payload) == 0 {
+		panic("homa: empty message")
+	}
+	if s.closed {
+		panic("homa: send on closed socket")
+	}
+	pk := peerKey{dstAddr, dstPort}
+	p := s.peerFor(pk)
+	id := p.nextMsgID
+	p.nextMsgID++
+
+	m := &outMsg{
+		id: id, pk: pk,
+		payload:   append([]byte(nil), payload...),
+		segSent:   make([]bool, nSegs(len(payload), p.codec.SegSpan())),
+		granted:   s.cfg.UnschedBytes,
+		appThread: appThread,
+	}
+	p.out[id] = m
+	s.Stats.MsgsSent++
+	s.Stats.BytesSent += uint64(len(payload))
+
+	// Syscall + copy in the sending thread's context, then unscheduled
+	// segments, each charging its codec build cost on the same core.
+	cm := s.host.CM
+	s.host.RunApp(appThread, cm.Syscall+cm.Copy(len(payload)), func() {
+		s.pump(p, m, s.host.AppQueue(appThread), appThread, true)
+		s.armSenderTimer(p, m)
+	})
+	return id
+}
+
+// pump submits all unsent segments below the grant limit. onApp indicates
+// app-thread (syscall) context; otherwise core identifies the softirq
+// core (pacer context).
+func (s *Socket) pump(p *peer, m *outMsg, queue int, ctxCore int, onApp bool) {
+	span := p.codec.SegSpan()
+	for seg := 0; seg < len(m.segSent); seg++ {
+		start := seg * span
+		if m.segSent[seg] || start >= m.granted {
+			continue
+		}
+		m.segSent[seg] = true
+		n := span
+		if start+n > len(m.payload) {
+			n = len(m.payload) - start
+		}
+		s.submitSegment(p, m, start, n, queue, ctxCore, onApp, false)
+	}
+}
+
+// submitSegment encodes one segment and pushes it to the NIC, charging
+// the build cost in the submitting context.
+func (s *Socket) submitSegment(p *peer, m *outMsg, off, n, queue, ctxCore int, onApp, retransmit bool) {
+	enc, cpu := p.codec.Encode(m.id, m.payload, off, n, queue, retransmit)
+	cm := s.host.CM
+	if s.cfg.NoTSO && !retransmit {
+		cpu += cm.HomaTxPacketNoTSO * sim.Time(nPkts(len(enc.Payload), s.cfg.MTU))
+	} else {
+		cpu += cm.HomaTxSegment
+	}
+	submit := func() { s.toNIC(p, m, enc, off, n, queue, retransmit) }
+	if onApp {
+		s.host.RunApp(ctxCore, cpu, submit)
+	} else {
+		s.host.RunSoftirq(ctxCore, cm.HomaPacer+cpu, submit)
+	}
+}
+
+// nPkts returns packets per segment payload of wireLen bytes.
+func nPkts(wireLen, mtu int) int {
+	per := mtu - wire.IPv4HeaderLen - wire.OverlayHeaderLen
+	n := (wireLen + per - 1) / per
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func (s *Socket) toNIC(p *peer, m *outMsg, enc *Segment, off, n, queue int, retransmit bool) {
+	hdr := wire.OverlayHeader{
+		SrcPort: s.port, DstPort: p.key.port,
+		Type:      wire.TypeData,
+		MsgID:     m.id,
+		MsgLen:    uint32(len(m.payload)),
+		TSOOffset: uint32(off),
+	}
+	ip := wire.IPv4Header{TTL: 64, Protocol: s.cfg.Proto, Src: s.host.Addr, Dst: p.key.addr}
+
+	if retransmit {
+		s.Stats.Retransmits++
+		if enc.Records != nil {
+			// Hardware-offloaded segments are re-encrypted wholesale: the
+			// NIC needs complete records, so the stack resends the whole
+			// segment through TSO with a resync descriptor (the
+			// kTLS-style retransmit path, §3.2). Duplicate packets are
+			// discarded by the receiver.
+			pkt := &wire.Packet{IP: ip, Overlay: hdr, Payload: enc.Payload}
+			s.host.NIC.SendSegment(queue, &nicsim.TxSegment{
+				Pkt: pkt, MTU: s.cfg.MTU,
+				Records: enc.Records, Keys: enc.Keys, CtxID: enc.CtxID, Resync: true,
+			})
+			return
+		}
+		// Software path: packets are cut in software and carry their
+		// original intra-segment offset in the Resend-packet-offset field
+		// of the overlay header (§4.3), since a lone packet's IPID no
+		// longer encodes its position.
+		per := s.cfg.MTU - wire.IPv4HeaderLen - wire.OverlayHeaderLen
+		for i, pos := 0, 0; pos < len(enc.Payload); i, pos = i+1, pos+per {
+			end := pos + per
+			if end > len(enc.Payload) {
+				end = len(enc.Payload)
+			}
+			pkt := &wire.Packet{IP: ip, Overlay: hdr}
+			pkt.Overlay.Flags |= wire.FlagRetransmit
+			pkt.Overlay.ResendPktOff = uint16(i)
+			pkt.Payload = enc.Payload[pos:end]
+			s.host.NIC.SendSegment(queue, &nicsim.TxSegment{Pkt: pkt, MTU: s.cfg.MTU, NoTSO: true})
+		}
+		return
+	}
+
+	pkt := &wire.Packet{IP: ip, Overlay: hdr, Payload: enc.Payload}
+	s.host.NIC.SendSegment(queue, &nicsim.TxSegment{
+		Pkt: pkt, MTU: s.cfg.MTU, NoTSO: false,
+		Records: enc.Records, Keys: enc.Keys, CtxID: enc.CtxID, Resync: enc.Resync,
+	})
+}
+
+func (s *Socket) armSenderTimer(p *peer, m *outMsg) {
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+	m.timer = s.host.Eng.After(s.cfg.SenderTimeout, func() {
+		if m.acked {
+			return
+		}
+		// No ACK: re-push the first segment to re-trigger the receiver.
+		span := p.codec.SegSpan()
+		n := span
+		if n > len(m.payload) {
+			n = len(m.payload)
+		}
+		s.submitSegment(p, m, 0, n, s.host.SoftirqQueue(0), 0, false, true)
+		s.armSenderTimer(p, m)
+	})
+}
+
+// ctrl sends a small control packet (GRANT/RESEND/ACK/BUSY) from softirq
+// core context.
+func (s *Socket) ctrl(pk peerKey, ty wire.PacketType, msgID uint64, off uint32, aux uint32, core int) {
+	pkt := &wire.Packet{
+		IP: wire.IPv4Header{TTL: 64, Protocol: s.cfg.Proto, Src: s.host.Addr, Dst: pk.addr},
+		Overlay: wire.OverlayHeader{
+			SrcPort: s.port, DstPort: pk.port,
+			Type: ty, MsgID: msgID, TSOOffset: off, Aux: aux,
+		},
+	}
+	s.host.NIC.SendSegment(s.host.SoftirqQueue(core), &nicsim.TxSegment{Pkt: pkt, MTU: s.cfg.MTU, NoTSO: true})
+}
+
+// String describes the socket for debugging.
+func (s *Socket) String() string {
+	return fmt.Sprintf("homa[%d/%d @%d]", s.cfg.Proto, s.port, s.host.Addr)
+}

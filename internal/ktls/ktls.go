@@ -1,0 +1,210 @@
+// Package ktls implements the TLS-over-TCP baselines of the evaluation:
+//
+//   - ModeKTLSSW: kernel TLS, software crypto (kTLS-sw) — records sealed
+//     on the CPU in sendmsg context, opened in recvmsg context.
+//   - ModeKTLSHW: kernel TLS with NIC autonomous offload (kTLS-hw) —
+//     transmit records are described to the NIC crypto engine; receive
+//     stays in software (the paper disables RX offload for fairness, §5).
+//   - ModeUserTLS: user-space TLS (Redis's stock configuration in §5.3) —
+//     like kTLS-sw plus an extra user-space buffer copy and higher
+//     per-record bookkeeping, and never offloadable.
+//
+// All modes use one per-connection record sequence number space — the
+// TLS/TCP column of Figure 4 — so out-of-order transmit (retransmits)
+// needs NIC resyncs, and nothing can be parallelized across messages.
+package ktls
+
+import (
+	"errors"
+	"fmt"
+
+	"smt/internal/cost"
+	"smt/internal/nicsim"
+	"smt/internal/sim"
+	"smt/internal/tcpsim"
+	"smt/internal/tlsrec"
+	"smt/internal/wire"
+)
+
+// Mode selects the TLS deployment model.
+type Mode int
+
+// Modes.
+const (
+	ModeKTLSSW Mode = iota
+	ModeKTLSHW
+	ModeUserTLS
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeKTLSSW:
+		return "kTLS-sw"
+	case ModeKTLSHW:
+		return "kTLS-hw"
+	case ModeUserTLS:
+		return "TLS (user)"
+	default:
+		return "unknown"
+	}
+}
+
+// RecPlain is the plaintext bytes per TLS record on the stream path,
+// chosen (like SMT's RecSpan) so records pack into TSO segments.
+const RecPlain = 16000
+
+// Keys carries the two directions' AEAD material for one connection.
+type Keys struct {
+	TxKey, TxIV []byte
+	RxKey, RxIV []byte
+}
+
+// Codec implements tcpsim.Codec with TLS 1.3 record protection.
+type Codec struct {
+	cm   *cost.Model
+	mode Mode
+	tx   *tlsrec.AEAD
+	rx   *tlsrec.AEAD
+
+	txSeq tlsrec.StreamSeq
+	rxSeq tlsrec.StreamSeq
+
+	rxBuf []byte // partial record accumulation
+
+	// Stats
+	RecordsSealed uint64
+	RecordsOpened uint64
+	AuthFailures  uint64
+}
+
+// ErrAuth is returned when a record fails authentication; the connection
+// tears down (TLS alert semantics).
+var ErrAuth = errors.New("ktls: record authentication failed")
+
+// New builds a codec for one connection direction pair.
+func New(cm *cost.Model, mode Mode, keys Keys) (*Codec, error) {
+	tx, err := tlsrec.NewAEAD(keys.TxKey, keys.TxIV)
+	if err != nil {
+		return nil, fmt.Errorf("ktls: tx: %w", err)
+	}
+	rx, err := tlsrec.NewAEAD(keys.RxKey, keys.RxIV)
+	if err != nil {
+		return nil, fmt.Errorf("ktls: rx: %w", err)
+	}
+	return &Codec{cm: cm, mode: mode, tx: tx, rx: rx}, nil
+}
+
+// Mode reports the codec's deployment mode.
+func (c *Codec) Mode() Mode { return c.mode }
+
+// perRecordCost is the non-crypto bookkeeping per record.
+func (c *Codec) perRecordCost() sim.Time {
+	if c.mode == ModeUserTLS {
+		return c.cm.UserTLSRecord
+	}
+	return c.cm.KTLSRecord
+}
+
+// EncodeStream implements tcpsim.Codec: cut the framed plaintext into
+// records; one chunk per record.
+func (c *Codec) EncodeStream(data []byte) ([]tcpsim.Chunk, sim.Time) {
+	var (
+		chunks []tcpsim.Chunk
+		cpu    sim.Time
+	)
+	for off := 0; off < len(data); off += RecPlain {
+		n := RecPlain
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		plain := data[off : off+n]
+		seq := c.txSeq.Next()
+		recLen := tlsrec.RecordWireLen(n, 0)
+		cpu += c.perRecordCost()
+		c.RecordsSealed++
+		if c.mode == ModeKTLSHW {
+			buf := make([]byte, recLen)
+			tlsrec.WriteRecordShell(buf, 0, wire.RecordTypeApplicationData, plain, 0)
+			cpu += c.cm.OffloadMetaPerSeg
+			chunks = append(chunks, tcpsim.Chunk{
+				Bytes:   buf,
+				Records: []nicsim.RecordDesc{{Off: 0, InnerLen: n + 1, Seq: seq}},
+				Keys:    c.tx,
+			})
+			continue
+		}
+		sealed, err := c.tx.SealRecord(nil, seq, wire.RecordTypeApplicationData, plain, 0)
+		if err != nil {
+			panic(fmt.Sprintf("ktls: seal: %v", err))
+		}
+		cpu += c.cm.CryptoSW(recLen)
+		if c.mode == ModeUserTLS {
+			// User-space TLS copies the ciphertext into the socket via
+			// write(2): one more pass over the data.
+			cpu += c.cm.Copy(recLen) + c.cm.Syscall
+		}
+		chunks = append(chunks, tcpsim.Chunk{Bytes: sealed})
+	}
+	return chunks, cpu
+}
+
+// DecodeStream implements tcpsim.Codec: accumulate ciphertext, open
+// complete records in order.
+func (c *Codec) DecodeStream(data []byte) ([]byte, sim.Time, error) {
+	c.rxBuf = append(c.rxBuf, data...)
+	var (
+		out  []byte
+		cpu  sim.Time
+		recs int
+	)
+	for {
+		var hdr wire.RecordHeader
+		if err := hdr.DecodeFromBytes(c.rxBuf); err != nil {
+			break // incomplete header
+		}
+		total := wire.RecordHeaderLen + int(hdr.Length)
+		if len(c.rxBuf) < total {
+			break // incomplete record: must wait (no partial decrypt)
+		}
+		seq := c.rxSeq.Next()
+		plain, ct, err := c.rx.OpenRecord(seq, c.rxBuf[:total])
+		cpu += c.cm.CryptoSW(total) + c.perRecordCost()
+		if recs > 0 {
+			// Stream abstraction tax: the application's read loop issues
+			// roughly one recv per record, whereas a message transport
+			// hands over a whole message per call (§2 "per-socket
+			// syscalls"). The first record rides the wakeup's recv.
+			cpu += c.cm.Syscall
+		}
+		recs++
+		if err != nil || ct != wire.RecordTypeApplicationData {
+			c.AuthFailures++
+			return out, cpu, ErrAuth
+		}
+		c.RecordsOpened++
+		if c.mode == ModeUserTLS {
+			cpu += c.cm.Copy(total) + c.cm.Syscall
+		}
+		out = append(out, plain...)
+		c.rxBuf = c.rxBuf[total:]
+	}
+	return out, cpu, nil
+}
+
+// PairKeys builds mirrored key material for tests/benchmarks (the state
+// after a TLS handshake).
+func PairKeys(seed byte) (client, server Keys) {
+	mk := func(salt byte, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = seed ^ salt ^ byte(i*11+5)
+		}
+		return b
+	}
+	ck, civ := mk(0, tlsrec.Key128), mk(1, wire.GCMNonceLen)
+	sk, siv := mk(2, tlsrec.Key128), mk(3, wire.GCMNonceLen)
+	client = Keys{TxKey: ck, TxIV: civ, RxKey: sk, RxIV: siv}
+	server = Keys{TxKey: sk, TxIV: siv, RxKey: ck, RxIV: civ}
+	return
+}

@@ -1,0 +1,192 @@
+package ktls
+
+import (
+	"bytes"
+	"testing"
+
+	"smt/internal/cost"
+	"smt/internal/cpusim"
+	"smt/internal/netsim"
+	"smt/internal/sim"
+	"smt/internal/tcpsim"
+	"smt/internal/wire"
+)
+
+type world struct {
+	eng  *sim.Engine
+	net  *netsim.Network
+	a, b *cpusim.Host
+	cm   *cost.Model
+}
+
+func newWorld(seed int64) *world {
+	eng := sim.NewEngine(seed)
+	cm := cost.Default()
+	net := netsim.New(eng, cm)
+	return &world{
+		eng: eng, net: net, cm: cm,
+		a: cpusim.NewHost(eng, cm, net, 1, 4, 12),
+		b: cpusim.NewHost(eng, cm, net, 2, 4, 12),
+	}
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*5 + 11)
+	}
+	return b
+}
+
+func connectTLS(t *testing.T, w *world, mode Mode) (cli, srv *tcpsim.Conn, cliCodec, srvCodec *Codec) {
+	t.Helper()
+	ck, sk := PairKeys(3)
+	var err error
+	srvCodec = nil
+	tcpsim.Listen(w.b, 443, tcpsim.Config{}, func() tcpsim.Codec {
+		c, e := New(w.cm, mode, sk)
+		if e != nil {
+			t.Fatal(e)
+		}
+		srvCodec = c
+		return c
+	}, nil, func(c *tcpsim.Conn) { srv = c })
+	cliCodec, err = New(w.cm, mode, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli = tcpsim.Dial(w.a, 0, tcpsim.Config{}, cliCodec, 2, 443, nil)
+	w.eng.RunUntil(1 * sim.Millisecond)
+	if srv == nil {
+		t.Fatal("not connected")
+	}
+	return
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{ModeKTLSSW, ModeKTLSHW, ModeUserTLS, Mode(9)} {
+		if m.String() == "" {
+			t.Fatal("empty mode name")
+		}
+	}
+}
+
+func TestNewValidatesKeys(t *testing.T) {
+	if _, err := New(cost.Default(), ModeKTLSSW, Keys{}); err == nil {
+		t.Fatal("empty keys accepted")
+	}
+}
+
+func TestEncryptedExchangeAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModeKTLSSW, ModeKTLSHW, ModeUserTLS} {
+		w := newWorld(1)
+		cli, srv, _, _ := connectTLS(t, w, mode)
+		var got []byte
+		srv.OnMessage(func(m []byte) { got = m })
+		msg := pattern(5000)
+		w.eng.At(w.eng.Now(), func() { cli.SendMessage(msg) })
+		w.eng.Run()
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("%v: message mismatch", mode)
+		}
+	}
+}
+
+func TestCiphertextOnWire(t *testing.T) {
+	w := newWorld(2)
+	cli, srv, _, _ := connectTLS(t, w, ModeKTLSSW)
+	srv.OnMessage(func(m []byte) {})
+	secret := bytes.Repeat([]byte("TOPSECRET"), 50)
+	var sniffed []byte
+	w.net.Attach(2, func(p *wire.Packet) {
+		sniffed = append(sniffed, p.Payload...)
+		w.b.NIC.OnRx(p)
+	})
+	w.eng.At(w.eng.Now(), func() { cli.SendMessage(secret) })
+	w.eng.Run()
+	if bytes.Contains(sniffed, []byte("TOPSECRET")) {
+		t.Fatal("plaintext leaked onto the wire")
+	}
+}
+
+func TestHWOffloadSealsOnNIC(t *testing.T) {
+	w := newWorld(3)
+	cli, srv, _, _ := connectTLS(t, w, ModeKTLSHW)
+	var got []byte
+	srv.OnMessage(func(m []byte) { got = m })
+	msg := pattern(40000) // 3 records
+	w.eng.At(w.eng.Now(), func() { cli.SendMessage(msg) })
+	w.eng.Run()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("hw message mismatch")
+	}
+	if w.a.NIC.Stats.SealedRecs != 3 {
+		t.Fatalf("NIC sealed %d records, want 3", w.a.NIC.Stats.SealedRecs)
+	}
+	if w.a.NIC.Stats.Corrupted != 0 {
+		t.Fatal("in-order kTLS-hw stream must not corrupt")
+	}
+}
+
+// A dropped packet forces a TCP retransmission of the affected record;
+// the kTLS-hw path must resync the NIC context (out-of-order record
+// sequence at the engine) and the receiver must still decrypt everything.
+func TestHWRetransmitResync(t *testing.T) {
+	w := newWorld(4)
+	cli, srv, _, _ := connectTLS(t, w, ModeKTLSHW)
+	var got []byte
+	srv.OnMessage(func(m []byte) { got = m })
+	dropped := false
+	n := 0
+	w.net.Attach(2, func(p *wire.Packet) {
+		n++
+		if !dropped && n == 5 && p.Overlay.Type == wire.TypeData {
+			dropped = true
+			return // drop one mid-stream data packet
+		}
+		w.b.NIC.OnRx(p)
+	})
+	msg := pattern(100000) // 7 records
+	w.eng.At(w.eng.Now(), func() { cli.SendMessage(msg) })
+	w.eng.RunUntil(1 * sim.Second)
+	if !dropped {
+		t.Fatal("never dropped")
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("message not recovered after retransmission")
+	}
+	if cli.Stats.FastRetx == 0 && cli.Stats.RTORetx == 0 {
+		t.Fatal("no retransmission recorded")
+	}
+	if w.a.NIC.Stats.Resyncs == 0 {
+		t.Fatal("kTLS-hw retransmission must resync the flow context (§3.2)")
+	}
+	if srv.Stats.DecodeErrors != 0 {
+		t.Fatal("decode errors after resync")
+	}
+}
+
+func TestRecordsSpanMultipleMessages(t *testing.T) {
+	w := newWorld(5)
+	cli, srv, cc, sc := connectTLS(t, w, ModeKTLSSW)
+	var got [][]byte
+	srv.OnMessage(func(m []byte) { got = append(got, append([]byte(nil), m...)) })
+	msgs := [][]byte{pattern(10), pattern(100000), pattern(1)}
+	w.eng.At(w.eng.Now(), func() {
+		for _, m := range msgs {
+			cli.SendMessage(m)
+		}
+	})
+	w.eng.Run()
+	if len(got) != 3 {
+		t.Fatalf("messages = %d", len(got))
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("message %d mismatch", i)
+		}
+	}
+	if cc.RecordsSealed == 0 || sc.RecordsOpened != cc.RecordsSealed {
+		t.Fatalf("record accounting: sealed=%d opened=%d", cc.RecordsSealed, sc.RecordsOpened)
+	}
+}

@@ -1,0 +1,122 @@
+// Package kvstore is the Redis analog of §5.3: a single-threaded
+// key-value server with a RESP-flavored message protocol, served over any
+// of the simulated transports. Its defining property for Figure 8 is that
+// request parsing, database manipulation, *and* the transport send path
+// (including software encryption when the NIC does not offload) all run
+// on the one server thread — which is why freeing crypto cycles shows up
+// directly as throughput.
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"smt/internal/cost"
+	"smt/internal/sim"
+)
+
+// Command opcodes of the wire protocol (RESP-like, binary).
+const (
+	CmdGet = iota + 1
+	CmdSet
+	CmdScan
+)
+
+// Request is a parsed command.
+type Request struct {
+	Cmd     uint8
+	Key     uint64
+	ScanLen uint16
+	Value   []byte // for SET
+}
+
+// EncodeRequest serializes a request: cmd(1) key(8) scanlen(2) vlen(4) value.
+func EncodeRequest(r Request) []byte {
+	b := make([]byte, 15+len(r.Value))
+	b[0] = r.Cmd
+	binary.BigEndian.PutUint64(b[1:], r.Key)
+	binary.BigEndian.PutUint16(b[9:], r.ScanLen)
+	binary.BigEndian.PutUint32(b[11:], uint32(len(r.Value)))
+	copy(b[15:], r.Value)
+	return b
+}
+
+// DecodeRequest parses a request.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) < 15 {
+		return Request{}, fmt.Errorf("kvstore: short request")
+	}
+	r := Request{
+		Cmd:     b[0],
+		Key:     binary.BigEndian.Uint64(b[1:]),
+		ScanLen: binary.BigEndian.Uint16(b[9:]),
+	}
+	n := binary.BigEndian.Uint32(b[11:])
+	if int(n) > len(b)-15 {
+		return Request{}, fmt.Errorf("kvstore: bad value length")
+	}
+	r.Value = b[15 : 15+n]
+	return r, nil
+}
+
+// Store is the in-memory database plus its CPU cost model.
+type Store struct {
+	cm   *cost.Model
+	vals map[uint64][]byte
+
+	// Stats
+	Gets, Sets, Scans, Misses uint64
+}
+
+// New creates a store preloaded with `keys` records of valueSize bytes.
+func New(cm *cost.Model, keys uint64, valueSize int) *Store {
+	s := &Store{cm: cm, vals: make(map[uint64][]byte, keys)}
+	for k := uint64(0); k < keys; k++ {
+		v := make([]byte, valueSize)
+		binary.BigEndian.PutUint64(v, k) // recognizable content
+		s.vals[k] = v
+	}
+	return s
+}
+
+// Execute runs a request against the database, returning the response
+// payload and the application CPU cost (parse + hash op + value copy),
+// which the caller charges on the server's single thread.
+func (s *Store) Execute(req Request) (resp []byte, cpu sim.Time) {
+	// Parse + dispatch cost.
+	cpu = s.cm.AppLogic
+	switch req.Cmd {
+	case CmdGet:
+		s.Gets++
+		v, ok := s.vals[req.Key]
+		if !ok {
+			s.Misses++
+			return []byte{0}, cpu
+		}
+		cpu += s.cm.Copy(len(v))
+		out := make([]byte, 1+len(v))
+		out[0] = 1
+		copy(out[1:], v)
+		return out, cpu
+	case CmdSet:
+		s.Sets++
+		v := append([]byte(nil), req.Value...)
+		s.vals[req.Key] = v
+		cpu += s.cm.Copy(len(v))
+		return []byte{1}, cpu
+	case CmdScan:
+		s.Scans++
+		out := []byte{1}
+		for i := uint16(0); i < req.ScanLen; i++ {
+			v, ok := s.vals[(req.Key+uint64(i))%uint64(len(s.vals))]
+			if !ok {
+				continue
+			}
+			out = append(out, v...)
+		}
+		cpu += s.cm.Copy(len(out)) + sim.Time(req.ScanLen)*200*sim.Nanosecond
+		return out, cpu
+	default:
+		return []byte{0}, cpu
+	}
+}

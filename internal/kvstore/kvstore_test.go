@@ -1,0 +1,83 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"smt/internal/cost"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	r := Request{Cmd: CmdSet, Key: 42, ScanLen: 7, Value: []byte("hello")}
+	got, err := DecodeRequest(EncodeRequest(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmd != r.Cmd || got.Key != r.Key || got.ScanLen != r.ScanLen || !bytes.Equal(got.Value, r.Value) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(cmd uint8, key uint64, sl uint16, val []byte) bool {
+		if len(val) > 1<<16 {
+			val = val[:1<<16]
+		}
+		r := Request{Cmd: cmd, Key: key, ScanLen: sl, Value: val}
+		got, err := DecodeRequest(EncodeRequest(r))
+		return err == nil && got.Key == key && bytes.Equal(got.Value, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeRequest(make([]byte, 4)); err == nil {
+		t.Fatal("short request accepted")
+	}
+	b := EncodeRequest(Request{Cmd: CmdSet, Value: []byte("abc")})
+	if _, err := DecodeRequest(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated value accepted")
+	}
+}
+
+func TestGetSetScan(t *testing.T) {
+	s := New(cost.Default(), 100, 32)
+	// Preloaded value readable.
+	resp, cpu := s.Execute(Request{Cmd: CmdGet, Key: 5})
+	if resp[0] != 1 || len(resp) != 33 || cpu <= 0 {
+		t.Fatalf("get: %d bytes, cpu %v", len(resp), cpu)
+	}
+	// Set then get back.
+	s.Execute(Request{Cmd: CmdSet, Key: 5, Value: []byte("new-value")})
+	resp, _ = s.Execute(Request{Cmd: CmdGet, Key: 5})
+	if !bytes.Equal(resp[1:], []byte("new-value")) {
+		t.Fatal("set not visible")
+	}
+	// Miss.
+	resp, _ = s.Execute(Request{Cmd: CmdGet, Key: 9999})
+	if resp[0] != 0 || s.Misses != 1 {
+		t.Fatal("miss not reported")
+	}
+	// Scan returns ~n values.
+	resp, scanCPU := s.Execute(Request{Cmd: CmdScan, Key: 0, ScanLen: 10})
+	if len(resp) < 1+9*32 {
+		t.Fatalf("scan too small: %d", len(resp))
+	}
+	if scanCPU <= cpu {
+		t.Fatal("scan should cost more than get")
+	}
+	if s.Gets != 3 || s.Sets != 1 || s.Scans != 1 {
+		t.Fatalf("stats: %+v", *s)
+	}
+}
+
+func TestUnknownCmd(t *testing.T) {
+	s := New(cost.Default(), 1, 8)
+	resp, _ := s.Execute(Request{Cmd: 99})
+	if resp[0] != 0 {
+		t.Fatal("unknown cmd should fail")
+	}
+}

@@ -1,0 +1,80 @@
+// Package netsim models the datacenter wire between hosts: propagation
+// and NIC pipeline latency, plus fault injection (loss, reordering,
+// duplication) for protocol robustness tests. Serialization delay is
+// charged by the transmitting NIC (which owns the link transmitter);
+// netsim adds everything that happens after the bits leave the NIC.
+package netsim
+
+import (
+	"fmt"
+
+	"smt/internal/cost"
+	"smt/internal/sim"
+	"smt/internal/stats"
+	"smt/internal/wire"
+)
+
+// Network connects endpoints addressed by IPv4-style uint32 addresses.
+// The evaluation topology is two hosts back-to-back, but any number of
+// endpoints can attach (the "switch" is ideal: no contention, matching
+// the paper's testbed which has no switch at all).
+type Network struct {
+	eng *sim.Engine
+	cm  *cost.Model
+	eps map[uint32]func(*wire.Packet)
+
+	// LossProb drops each packet independently with this probability.
+	LossProb float64
+	// DupProb delivers an extra copy of the packet.
+	DupProb float64
+	// ReorderProb delays a packet by ReorderDelay, letting later packets
+	// overtake it.
+	ReorderProb  float64
+	ReorderDelay sim.Time
+	// Partitioned, when true, drops everything (failure injection).
+	Partitioned bool
+
+	// Delivered / Dropped count packets and bytes for observability.
+	Delivered stats.Counter
+	Dropped   stats.Counter
+}
+
+// New returns an empty network on eng with the given cost model.
+func New(eng *sim.Engine, cm *cost.Model) *Network {
+	return &Network{eng: eng, cm: cm, eps: make(map[uint32]func(*wire.Packet))}
+}
+
+// Attach registers the receive entry point for addr (a host's NIC RX).
+// Attaching an address twice replaces the handler.
+func (n *Network) Attach(addr uint32, rx func(*wire.Packet)) {
+	if rx == nil {
+		panic(fmt.Sprintf("netsim: nil rx for %d", addr))
+	}
+	n.eps[addr] = rx
+}
+
+// Deliver accepts a fully serialized packet from a transmitting NIC and
+// schedules its arrival at the destination: one-way propagation plus the
+// receiving NIC's fixed pipeline delay. Unknown destinations and injected
+// faults drop silently, as a real fabric would.
+func (n *Network) Deliver(pkt *wire.Packet) {
+	dst, ok := n.eps[pkt.IP.Dst]
+	if !ok || n.Partitioned {
+		n.Dropped.Add(1, uint64(pkt.WireLen()))
+		return
+	}
+	if n.LossProb > 0 && n.eng.Rand().Float64() < n.LossProb {
+		n.Dropped.Add(1, uint64(pkt.WireLen()))
+		return
+	}
+	delay := n.cm.PropDelay + n.cm.NICFixedDelay
+	if n.ReorderProb > 0 && n.eng.Rand().Float64() < n.ReorderProb {
+		delay += n.ReorderDelay
+	}
+	n.Delivered.Add(1, uint64(pkt.WireLen()))
+	n.eng.At(n.eng.Now()+delay, func() { dst(pkt) })
+	if n.DupProb > 0 && n.eng.Rand().Float64() < n.DupProb {
+		dup := pkt.Clone()
+		n.eng.At(n.eng.Now()+delay+sim.Microsecond, func() { dst(dup) })
+	}
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"testing"
+
+	"smt/internal/cost"
+	"smt/internal/sim"
+	"smt/internal/wire"
+)
+
+func pkt(dst uint32) *wire.Packet {
+	return &wire.Packet{
+		IP:      wire.IPv4Header{TTL: 64, Protocol: wire.ProtoHoma, Src: 1, Dst: dst},
+		Payload: make([]byte, 100),
+	}
+}
+
+func TestDeliverLatency(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cm := cost.Default()
+	n := New(eng, cm)
+	var at sim.Time
+	n.Attach(2, func(p *wire.Packet) { at = eng.Now() })
+	eng.At(1000, func() { n.Deliver(pkt(2)) })
+	eng.Run()
+	want := sim.Time(1000) + cm.PropDelay + cm.NICFixedDelay
+	if at != want {
+		t.Fatalf("arrival at %v, want %v", at, want)
+	}
+	if n.Delivered.N != 1 {
+		t.Fatalf("delivered = %d", n.Delivered.N)
+	}
+}
+
+func TestUnknownDestinationDrops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, cost.Default())
+	eng.At(0, func() { n.Deliver(pkt(99)) })
+	eng.Run()
+	if n.Dropped.N != 1 || n.Delivered.N != 0 {
+		t.Fatalf("dropped=%d delivered=%d", n.Dropped.N, n.Delivered.N)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	eng := sim.NewEngine(7)
+	n := New(eng, cost.Default())
+	var got int
+	n.Attach(2, func(p *wire.Packet) { got++ })
+	n.LossProb = 0.5
+	eng.At(0, func() {
+		for i := 0; i < 1000; i++ {
+			n.Deliver(pkt(2))
+		}
+	})
+	eng.Run()
+	if got < 400 || got > 600 {
+		t.Fatalf("got %d of 1000 at 50%% loss", got)
+	}
+	if n.Dropped.N+n.Delivered.N != 1000 {
+		t.Fatal("accounting mismatch")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, cost.Default())
+	got := 0
+	n.Attach(2, func(p *wire.Packet) { got++ })
+	n.Partitioned = true
+	eng.At(0, func() { n.Deliver(pkt(2)) })
+	eng.Run()
+	if got != 0 {
+		t.Fatal("partitioned network delivered a packet")
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	eng := sim.NewEngine(3)
+	n := New(eng, cost.Default())
+	got := 0
+	n.Attach(2, func(p *wire.Packet) { got++ })
+	n.DupProb = 1.0
+	eng.At(0, func() { n.Deliver(pkt(2)) })
+	eng.Run()
+	if got != 2 {
+		t.Fatalf("got %d deliveries, want 2", got)
+	}
+}
+
+func TestReorderDelays(t *testing.T) {
+	eng := sim.NewEngine(3)
+	cm := cost.Default()
+	n := New(eng, cm)
+	var times []sim.Time
+	n.Attach(2, func(p *wire.Packet) { times = append(times, eng.Now()) })
+	n.ReorderProb = 1.0
+	n.ReorderDelay = 50 * sim.Microsecond
+	eng.At(0, func() { n.Deliver(pkt(2)) })
+	eng.Run()
+	want := cm.PropDelay + cm.NICFixedDelay + 50*sim.Microsecond
+	if len(times) != 1 || times[0] != want {
+		t.Fatalf("times = %v, want [%v]", times, want)
+	}
+}

@@ -1,0 +1,292 @@
+package nicsim
+
+import (
+	"bytes"
+	"testing"
+
+	"smt/internal/cost"
+	"smt/internal/netsim"
+	"smt/internal/sim"
+	"smt/internal/tlsrec"
+	"smt/internal/wire"
+)
+
+type rig struct {
+	eng *sim.Engine
+	net *netsim.Network
+	nic *NIC
+	got []*wire.Packet
+}
+
+func newRig(t *testing.T, queues int) *rig {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cm := cost.Default()
+	net := netsim.New(eng, cm)
+	r := &rig{eng: eng, net: net}
+	r.nic = New(eng, cm, net, 1, queues)
+	net.Attach(2, func(p *wire.Packet) { r.got = append(r.got, p) })
+	return r
+}
+
+func seg(payloadLen int) *TxSegment {
+	return &TxSegment{
+		Pkt: &wire.Packet{
+			IP:      wire.IPv4Header{TTL: 64, Protocol: wire.ProtoSMT, Src: 1, Dst: 2},
+			Overlay: wire.OverlayHeader{SrcPort: 9, DstPort: 10, Type: wire.TypeData, MsgID: 1, MsgLen: uint32(payloadLen)},
+			Payload: bytes.Repeat([]byte{0xEE}, payloadLen),
+		},
+		MTU: wire.DefaultMTU,
+	}
+}
+
+func TestTSOSplitsAndReplicatesHeaders(t *testing.T) {
+	r := newRig(t, 1)
+	s := seg(4000) // per-packet payload 1440 → 3 packets (1440,1440,1120)
+	r.eng.At(0, func() { r.nic.SendSegment(0, s) })
+	r.eng.Run()
+	if len(r.got) != 3 {
+		t.Fatalf("packets = %d, want 3", len(r.got))
+	}
+	total := 0
+	for i, p := range r.got {
+		if p.Overlay.MsgID != 1 || p.Overlay.DstPort != 10 {
+			t.Fatal("overlay header not replicated")
+		}
+		if int(p.IP.ID) != i {
+			t.Fatalf("IPID of packet %d = %d (must be intra-segment index)", i, p.IP.ID)
+		}
+		total += len(p.Payload)
+		if i < 2 && len(p.Payload) != wire.DefaultMTU-60 {
+			t.Fatalf("packet %d payload = %d", i, len(p.Payload))
+		}
+	}
+	if total != 4000 {
+		t.Fatalf("payload bytes = %d", total)
+	}
+	if r.nic.Stats.TxPackets != 3 || r.nic.Stats.TxSegments != 1 {
+		t.Fatalf("stats = %+v", r.nic.Stats)
+	}
+}
+
+func TestNoTSO(t *testing.T) {
+	r := newRig(t, 1)
+	s := seg(1000)
+	s.NoTSO = true
+	s.Pkt.IP.ID = 7
+	fired := false
+	s.OnWire = func() { fired = true }
+	r.eng.At(0, func() { r.nic.SendSegment(0, s) })
+	r.eng.Run()
+	if len(r.got) != 1 || r.got[0].IP.ID != 7 {
+		t.Fatalf("NoTSO mangled the packet: %d pkts", len(r.got))
+	}
+	if !fired {
+		t.Fatal("OnWire not fired")
+	}
+}
+
+func TestEmptySegmentStillEmitsOnePacket(t *testing.T) {
+	r := newRig(t, 1)
+	s := seg(0)
+	r.eng.At(0, func() { r.nic.SendSegment(0, s) })
+	r.eng.Run()
+	if len(r.got) != 1 {
+		t.Fatalf("packets = %d, want 1 (header-only)", len(r.got))
+	}
+}
+
+func TestSerializationPacesWire(t *testing.T) {
+	r := newRig(t, 2)
+	// Two max-size packets from different queues share one transmitter.
+	a, b := seg(1440), seg(1440)
+	r.eng.At(0, func() {
+		r.nic.SendSegment(0, a)
+		r.nic.SendSegment(1, b)
+	})
+	var times []sim.Time
+	r.net.Attach(2, func(p *wire.Packet) { times = append(times, r.eng.Now()) })
+	r.eng.Run()
+	if len(times) != 2 {
+		t.Fatalf("got %d packets", len(times))
+	}
+	gap := times[1] - times[0]
+	want := cost.Default().Serialize(1500)
+	if gap != want {
+		t.Fatalf("inter-packet gap %v, want serialization time %v", gap, want)
+	}
+}
+
+func offloadSeg(t *testing.T, aead *tlsrec.AEAD, ctxID uint64, seq uint64, resync bool, plain []byte) *TxSegment {
+	t.Helper()
+	recLen := tlsrec.RecordWireLen(len(plain), 0)
+	payload := make([]byte, recLen)
+	tlsrec.WriteRecordShell(payload, 0, wire.RecordTypeApplicationData, plain, 0)
+	return &TxSegment{
+		Pkt: &wire.Packet{
+			IP:      wire.IPv4Header{TTL: 64, Protocol: wire.ProtoSMT, Src: 1, Dst: 2},
+			Overlay: wire.OverlayHeader{Type: wire.TypeData, MsgID: seq, MsgLen: uint32(len(plain))},
+			Payload: payload,
+		},
+		MTU:     wire.DefaultMTU,
+		Records: []RecordDesc{{Off: 0, InnerLen: len(plain) + 1, Seq: seq}},
+		Keys:    aead,
+		CtxID:   ctxID,
+		Resync:  resync,
+	}
+}
+
+func testKeys(t *testing.T) *tlsrec.AEAD {
+	t.Helper()
+	a, err := tlsrec.NewAEAD(bytes.Repeat([]byte{1}, 16), bytes.Repeat([]byte{2}, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// Figure 2 "In-seq": S1 then S2 with matching counters encrypt correctly.
+func TestOffloadInSequence(t *testing.T) {
+	r := newRig(t, 1)
+	aead := testKeys(t)
+	r.eng.At(0, func() {
+		r.nic.SendSegment(0, offloadSeg(t, aead, 42, 0, false, []byte("S1")))
+		r.nic.SendSegment(0, offloadSeg(t, aead, 42, 1, false, []byte("S2")))
+	})
+	r.eng.Run()
+	if r.nic.Stats.Corrupted != 0 {
+		t.Fatalf("corrupted = %d", r.nic.Stats.Corrupted)
+	}
+	for i, want := range []string{"S1", "S2"} {
+		pt, _, err := aead.OpenRecord(uint64(i), r.got[i].Payload)
+		if err != nil || string(pt) != want {
+			t.Fatalf("record %d: %q %v", i, pt, err)
+		}
+	}
+	if seqNow, _ := r.nic.ContextSeq(42); seqNow != 2 {
+		t.Fatalf("context counter = %d, want 2", seqNow)
+	}
+}
+
+// Figure 2 "Out-seq": skipping a sequence number corrupts the segment —
+// the receiver's authentication fails.
+func TestOffloadOutOfSequenceCorrupts(t *testing.T) {
+	r := newRig(t, 1)
+	aead := testKeys(t)
+	r.eng.At(0, func() {
+		r.nic.SendSegment(0, offloadSeg(t, aead, 42, 0, false, []byte("S1")))
+		r.nic.SendSegment(0, offloadSeg(t, aead, 42, 2, false, []byte("S3"))) // skipped 1
+	})
+	r.eng.Run()
+	if r.nic.Stats.Corrupted != 1 {
+		t.Fatalf("corrupted = %d, want 1", r.nic.Stats.Corrupted)
+	}
+	// The stack intended seq 2; the NIC used its counter (1).
+	if _, _, err := aead.OpenRecord(2, r.got[1].Payload); err != tlsrec.ErrAuthFailed {
+		t.Fatalf("expected auth failure, got %v", err)
+	}
+}
+
+// Figure 2 "Out-resync": a resync descriptor repairs the counter.
+func TestOffloadResyncRepairs(t *testing.T) {
+	r := newRig(t, 1)
+	aead := testKeys(t)
+	r.eng.At(0, func() {
+		r.nic.SendSegment(0, offloadSeg(t, aead, 42, 0, false, []byte("S1")))
+		r.nic.SendSegment(0, offloadSeg(t, aead, 42, 2, true, []byte("S3")))
+	})
+	r.eng.Run()
+	if r.nic.Stats.Corrupted != 0 {
+		t.Fatalf("corrupted = %d, want 0", r.nic.Stats.Corrupted)
+	}
+	if r.nic.Stats.Resyncs != 1 {
+		t.Fatalf("resyncs = %d", r.nic.Stats.Resyncs)
+	}
+	pt, _, err := aead.OpenRecord(2, r.got[1].Payload)
+	if err != nil || string(pt) != "S3" {
+		t.Fatalf("resynced record: %q %v", pt, err)
+	}
+}
+
+// §3.2: resync+segment pairs on *different* queues against one shared
+// context are not atomic — the interleaving corrupts one segment. This is
+// exactly why SMT gives messages separate contexts per queue.
+func TestCrossQueueResyncHazard(t *testing.T) {
+	r := newRig(t, 2)
+	aead := testKeys(t)
+	r.eng.At(0, func() {
+		// Both queues resync the same context then seal: R4,R5 race.
+		r.nic.SendSegment(0, offloadSeg(t, aead, 7, 4, true, []byte("S4")))
+		r.nic.SendSegment(1, offloadSeg(t, aead, 7, 5, true, []byte("S5")))
+	})
+	r.eng.Run()
+	if r.nic.Stats.Corrupted == 0 {
+		t.Fatal("cross-queue shared-context race should corrupt at least one segment")
+	}
+}
+
+// SMT's fix: per-queue contexts make the same submission pattern safe.
+func TestPerQueueContextsAvoidHazard(t *testing.T) {
+	r := newRig(t, 2)
+	aead := testKeys(t)
+	r.eng.At(0, func() {
+		r.nic.SendSegment(0, offloadSeg(t, aead, 100, 4, true, []byte("S4"))) // ctx 100 = (sess, q0)
+		r.nic.SendSegment(1, offloadSeg(t, aead, 101, 5, true, []byte("S5"))) // ctx 101 = (sess, q1)
+	})
+	r.eng.Run()
+	if r.nic.Stats.Corrupted != 0 {
+		t.Fatalf("per-queue contexts corrupted %d segments", r.nic.Stats.Corrupted)
+	}
+	for i, want := range []struct {
+		seq uint64
+		s   string
+	}{{4, "S4"}, {5, "S5"}} {
+		// Packet order on the wire may be either; try both.
+		ok := false
+		for _, p := range r.got {
+			if pt, _, err := aead.OpenRecord(want.seq, p.Payload); err == nil && string(pt) == want.s {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("record %d not decryptable", i)
+		}
+	}
+}
+
+func TestContextEviction(t *testing.T) {
+	r := newRig(t, 1)
+	r.nic.CtxCap = 2
+	aead := testKeys(t)
+	r.eng.At(0, func() {
+		for i := uint64(0); i < 4; i++ {
+			r.nic.SendSegment(0, offloadSeg(t, aead, i, 0, false, []byte("x")))
+		}
+	})
+	r.eng.Run()
+	if r.nic.Stats.CtxEvicts != 2 {
+		t.Fatalf("evicts = %d, want 2", r.nic.Stats.CtxEvicts)
+	}
+	if r.nic.Stats.LiveCtx != 2 {
+		t.Fatalf("live = %d, want 2", r.nic.Stats.LiveCtx)
+	}
+	if r.nic.HasContext(0) || r.nic.HasContext(1) {
+		t.Fatal("oldest contexts should be evicted")
+	}
+}
+
+func TestContextReuseNeedsNoRealloc(t *testing.T) {
+	r := newRig(t, 1)
+	aead := testKeys(t)
+	r.eng.At(0, func() {
+		r.nic.SendSegment(0, offloadSeg(t, aead, 5, 0, false, []byte("a")))
+		r.nic.SendSegment(0, offloadSeg(t, aead, 5, 100, true, []byte("b"))) // new message, resync
+	})
+	r.eng.Run()
+	if r.nic.Stats.CtxAllocs != 1 {
+		t.Fatalf("allocs = %d, want 1 (resync reuses the context, §4.4.2)", r.nic.Stats.CtxAllocs)
+	}
+	if r.nic.Stats.Resyncs != 1 || r.nic.Stats.Corrupted != 0 {
+		t.Fatalf("stats = %+v", r.nic.Stats)
+	}
+}

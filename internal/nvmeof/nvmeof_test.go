@@ -1,0 +1,79 @@
+package nvmeof
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"smt/internal/cost"
+	"smt/internal/sim"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	r := Request{Cmd: CmdRead, LBA: 12345}
+	got, err := DecodeRequest(EncodeRequest(r))
+	if err != nil || got != r {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+	if _, err := DecodeRequest(make([]byte, 3)); err == nil {
+		t.Fatal("short capsule accepted")
+	}
+}
+
+func TestSSDReadLatencyAndContent(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ssd := NewSSD(eng, 4, 50*sim.Microsecond)
+	ssd.Write(7, []byte("block-seven"))
+	var got []byte
+	var at sim.Time
+	eng.At(0, func() {
+		ssd.Read(7, func(b []byte) { got = b; at = eng.Now() })
+	})
+	eng.Run()
+	if string(got[:11]) != "block-seven" {
+		t.Fatal("content mismatch")
+	}
+	if at != 50*sim.Microsecond {
+		t.Fatalf("read at %v, want 50µs", at)
+	}
+}
+
+func TestSSDChannelsParallel(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ssd := NewSSD(eng, 2, 100*sim.Microsecond)
+	var done []sim.Time
+	eng.At(0, func() {
+		for lba := uint64(0); lba < 4; lba++ {
+			ssd.Read(lba, func([]byte) { done = append(done, eng.Now()) })
+		}
+	})
+	eng.Run()
+	// 4 reads over 2 channels: two finish at 100µs, two queue to 200µs.
+	if len(done) != 4 || done[0] != 100*sim.Microsecond || done[3] != 200*sim.Microsecond {
+		t.Fatalf("completions: %v", done)
+	}
+	if ssd.Reads != 4 {
+		t.Fatalf("reads = %d", ssd.Reads)
+	}
+}
+
+func TestUnwrittenBlockSynthesized(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ssd := NewSSD(eng, 1, sim.Microsecond)
+	var got []byte
+	eng.At(0, func() { ssd.Read(42, func(b []byte) { got = b }) })
+	eng.Run()
+	if len(got) != BlockSize || binary.BigEndian.Uint64(got) != 42 {
+		t.Fatal("synthesized block wrong")
+	}
+}
+
+func TestDefaultCosts(t *testing.T) {
+	c := DefaultCosts(cost.Default())
+	if c.TargetFixed <= 0 || c.ClientFixed <= 0 {
+		t.Fatal("costs must be positive")
+	}
+	// In-kernel fixed costs must undercut a user-space syscall pair.
+	if c.ClientFixed >= 2*cost.Default().Syscall {
+		t.Fatal("in-kernel client should be cheaper than two syscalls")
+	}
+}

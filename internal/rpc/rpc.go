@@ -1,0 +1,143 @@
+// Package rpc provides the request/response plumbing the evaluation
+// harness uses: a tiny RPC header carried inside transport messages, and
+// a closed-loop load generator that keeps a fixed number of RPC streams
+// outstanding while recording latency and throughput (the methodology of
+// §5.1–§5.2).
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"smt/internal/sim"
+	"smt/internal/stats"
+)
+
+// HeaderLen is the RPC header: request ID (8) + response size (4).
+const HeaderLen = 12
+
+// MinSize is the smallest RPC payload (the header itself).
+const MinSize = HeaderLen
+
+// Encode builds an RPC payload of exactly size bytes carrying reqID and
+// the desired response size. size is clamped up to MinSize.
+func Encode(reqID uint64, respSize uint32, size int) []byte {
+	if size < MinSize {
+		size = MinSize
+	}
+	b := make([]byte, size)
+	binary.BigEndian.PutUint64(b, reqID)
+	binary.BigEndian.PutUint32(b[8:], respSize)
+	for i := HeaderLen; i < size; i++ {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+// Decode extracts the header from an RPC payload.
+func Decode(b []byte) (reqID uint64, respSize uint32, err error) {
+	if len(b) < HeaderLen {
+		return 0, 0, fmt.Errorf("rpc: short payload (%d bytes)", len(b))
+	}
+	return binary.BigEndian.Uint64(b), binary.BigEndian.Uint32(b[8:]), nil
+}
+
+// ClosedLoop drives C concurrent RPC streams: each stream issues its next
+// request the moment its previous response arrives. Latency is recorded
+// only after warmup; throughput is measured over the post-warmup window.
+type ClosedLoop struct {
+	eng     *sim.Engine
+	issue   func(stream int, reqID uint64)
+	nextID  uint64
+	streams map[uint64]int // outstanding reqID -> stream
+
+	warmupUntil sim.Time
+	measureFrom sim.Time
+	stopAt      sim.Time
+	stopped     bool
+
+	sent    map[uint64]sim.Time
+	Latency stats.Histogram
+	// Completed counts post-warmup completions; CompletedAll counts all.
+	Completed    uint64
+	CompletedAll uint64
+	// RateLimit, when >0, caps issue rate per stream via a spacing delay
+	// (used by the §5.2 CPU-usage experiment's fixed-rate runs).
+	StreamSpacing sim.Time
+}
+
+// NewClosedLoop creates a generator over the given issue function. Call
+// Start to launch the streams and Done from the response path.
+func NewClosedLoop(eng *sim.Engine, issue func(stream int, reqID uint64)) *ClosedLoop {
+	return &ClosedLoop{
+		eng:     eng,
+		issue:   issue,
+		streams: make(map[uint64]int),
+		sent:    make(map[uint64]sim.Time),
+	}
+}
+
+// Start launches n streams; measurement begins after warmup and ends at
+// stop (absolute virtual times).
+func (c *ClosedLoop) Start(n int, warmupUntil, stopAt sim.Time) {
+	c.warmupUntil = warmupUntil
+	c.measureFrom = warmupUntil
+	c.stopAt = stopAt
+	for s := 0; s < n; s++ {
+		c.fire(s)
+	}
+}
+
+func (c *ClosedLoop) fire(stream int) {
+	if c.stopped || c.eng.Now() >= c.stopAt {
+		return
+	}
+	id := c.nextID
+	c.nextID++
+	c.streams[id] = stream
+	c.sent[id] = c.eng.Now()
+	c.issue(stream, id)
+}
+
+// Done reports a response for reqID; the stream's next request fires
+// immediately (or after StreamSpacing).
+func (c *ClosedLoop) Done(reqID uint64) {
+	stream, ok := c.streams[reqID]
+	if !ok {
+		return // duplicate or post-stop response
+	}
+	delete(c.streams, reqID)
+	start := c.sent[reqID]
+	delete(c.sent, reqID)
+	now := c.eng.Now()
+	c.CompletedAll++
+	if now >= c.measureFrom && now < c.stopAt {
+		c.Completed++
+		c.Latency.Record(int64(now - start))
+	}
+	if c.StreamSpacing > 0 {
+		c.eng.After(c.StreamSpacing, func() { c.fire(stream) })
+	} else {
+		c.fire(stream)
+	}
+}
+
+// Stop halts new issues.
+func (c *ClosedLoop) Stop() { c.stopped = true }
+
+// Outstanding reports in-flight requests.
+func (c *ClosedLoop) Outstanding() int { return len(c.streams) }
+
+// Throughput returns completions per second over the measurement window,
+// evaluated at the engine's current time (or stopAt if passed).
+func (c *ClosedLoop) Throughput() float64 {
+	end := c.eng.Now()
+	if end > c.stopAt {
+		end = c.stopAt
+	}
+	window := (end - c.measureFrom).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.Completed) / window
+}

@@ -1,0 +1,219 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All performance experiments in this repository run in virtual time on top
+// of this engine: protocol state machines schedule closures at absolute or
+// relative virtual times, and the engine executes them in (time, insertion)
+// order. Because execution is single-goroutine and the random source is
+// seeded, every run is exactly reproducible, independent of the Go
+// scheduler and garbage collector.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. It intentionally mirrors time.Duration's resolution so cost
+// constants can be written as time.Duration literals.
+type Time int64
+
+// Common virtual-time unit conversions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a time.Duration into the simulator's Time scale.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Std converts a virtual timestamp or interval back to a time.Duration.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the timestamp using time.Duration notation.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled closure. The zero Event is invalid; events are
+// created through Engine.At and Engine.After.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func()
+	idx  int // heap index, -1 once popped or cancelled
+	dead bool
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && !t.ev.dead }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event executor. It is not safe for concurrent use;
+// the whole simulation runs on one goroutine by design.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// Executed counts events that have run, a cheap progress/size metric.
+	Executed uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// source is seeded with seed (use a fixed seed for reproducible runs).
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (or present) runs the event at the current time, after already
+// pending events with the same timestamp.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop aborts Run / RunUntil at the next event boundary.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// step executes the earliest pending event. It reports false when no
+// events remain.
+func (e *Engine) step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		ev.dead = true
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.Executed++
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain pending; the clock is advanced to deadline if
+// the simulation had not yet reached it.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.heap) == 0 {
+			break
+		}
+		// Peek.
+		next := e.heap[0]
+		if next.dead {
+			heap.Pop(&e.heap)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterFromWithinEvent(t *testing.T) {
+	e := NewEngine(1)
+	var fired Time
+	e.At(100, func() {
+		e.After(50, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 150 {
+		t.Fatalf("nested After fired at %v, want 150", fired)
+	}
+}
+
+func TestEnginePastSchedulingClamped(t *testing.T) {
+	e := NewEngine(1)
+	var fired Time
+	e.At(100, func() {
+		e.At(10, func() { fired = e.Now() }) // in the past: clamp to now
+	})
+	e.Run()
+	if fired != 100 {
+		t.Fatalf("past event fired at %v, want 100 (clamped)", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	tm := e.At(10, func() { ran = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should succeed on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if tm.Active() {
+		t.Fatal("stopped timer reports active")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10,20 only", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want deadline 25", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("idle RunUntil: Now = %v, want 1000", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var rearm func()
+	rearm = func() {
+		n++
+		if n == 5 {
+			e.Stop()
+		}
+		e.After(1, rearm)
+	}
+	e.After(1, rearm)
+	e.Run()
+	if n != 5 {
+		t.Fatalf("ran %d events, want 5", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(42)
+		var log []Time
+		var tick func()
+		tick = func() {
+			log = append(log, e.Now())
+			if len(log) < 100 {
+				e.After(Time(e.Rand().Intn(1000)+1), tick)
+			}
+		}
+		e.After(0, tick)
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if Duration(3*time.Microsecond) != 3*Microsecond {
+		t.Fatal("Duration conversion wrong")
+	}
+	if (2 * Millisecond).Std() != 2*time.Millisecond {
+		t.Fatal("Std conversion wrong")
+	}
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if (2500 * Nanosecond).Micros() != 2.5 {
+		t.Fatal("Micros conversion wrong")
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "core0")
+	var done []Time
+	e.At(0, func() {
+		r.Acquire(100, func() { done = append(done, e.Now()) })
+		r.Acquire(50, func() { done = append(done, e.Now()) })
+	})
+	e.Run()
+	if len(done) != 2 || done[0] != 100 || done[1] != 150 {
+		t.Fatalf("completions = %v, want [100 150]", done)
+	}
+	if r.Busy != 150 {
+		t.Fatalf("busy = %v, want 150", r.Busy)
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "core0")
+	var second Time
+	e.At(0, func() { r.Acquire(10, nil) })
+	e.At(100, func() { r.Acquire(10, func() { second = e.Now() }) })
+	e.Run()
+	if second != 110 {
+		t.Fatalf("idle-gap start: completion %v, want 110", second)
+	}
+}
+
+func TestResourceQueueDelayAndUtilization(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "c")
+	e.At(0, func() {
+		r.Acquire(100, nil)
+		if r.QueueDelay() != 100 {
+			t.Errorf("QueueDelay = %v, want 100", r.QueueDelay())
+		}
+	})
+	e.RunUntil(200)
+	u := r.Utilization(0)
+	if u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+// Property: regardless of the order Acquire calls are issued within one
+// instant, total busy time equals the sum of durations and completions
+// never overlap.
+func TestResourceBusyConservation(t *testing.T) {
+	f := func(durs []uint16) bool {
+		e := NewEngine(7)
+		r := NewResource(e, "c")
+		var total Time
+		e.At(0, func() {
+			for _, d := range durs {
+				total += Time(d)
+				r.Acquire(Time(d), nil)
+			}
+		})
+		e.Run()
+		return r.Busy == total && r.FreeAt() == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: events always fire in non-decreasing time order even under
+// random scheduling patterns.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(3)
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			e.At(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

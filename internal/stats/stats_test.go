@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.P50() != 0 || h.P99() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should return zeros")
+	}
+}
+
+func TestHistogramSingle(t *testing.T) {
+	var h Histogram
+	h.Record(1234)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1234 || h.Max() != 1234 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if h.P50() != 1234 || h.P99() != 1234 {
+		t.Fatalf("quantiles of single value: p50=%d p99=%d", h.P50(), h.P99())
+	}
+	if h.Mean() != 1234 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative observation should clamp to 0, got %d", h.Min())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Compare against exact quantiles on a lognormal-ish distribution.
+	rng := rand.New(rand.NewSource(5))
+	var h Histogram
+	var exact []int64
+	for i := 0; i < 200000; i++ {
+		v := int64(math.Exp(rng.NormFloat64()*1.2 + 10)) // ~22k mean, heavy tail
+		h.Record(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exact[int(q*float64(len(exact)))-1]
+		got := h.Quantile(q)
+		rel := math.Abs(float64(got-want)) / float64(want)
+		if rel > 0.02 {
+			t.Errorf("q=%v: got %d want %d (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i)
+	}
+	for i := int64(101); i <= 200; i++ {
+		b.Record(i)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	var h Histogram
+	h.RecordN(10, 5)
+	h.RecordN(10, 0) // no-op
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Mean() != 10 {
+		t.Fatalf("mean = %v, want 10", h.Mean())
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := uint32(0)
+	for v := int64(0); v < 1<<22; v += 97 {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucket not monotonic at %d", v)
+		}
+		prev = b
+	}
+}
+
+// Property: a bucket's midpoint is within ~1% of any value mapping to it.
+func TestBucketRelativeError(t *testing.T) {
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		v %= 1 << 50
+		mid := bucketMid(bucketOf(v))
+		if v < 1<<subBucketBits {
+			return mid >= 0 && mid < 1<<subBucketBits+1
+		}
+		rel := math.Abs(float64(mid-v)) / float64(v)
+		return rel <= 1.0/float64(int64(1)<<subBucketBits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Record(int64(v))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			x := h.Quantile(q)
+			if x < prev || x < h.Min() || x > h.Max() {
+				return false
+			}
+			prev = x
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(10, 1000)
+	c.Add(5, 500)
+	if c.N != 15 || c.Bytes != 1500 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if c.Rate(3) != 5 {
+		t.Fatalf("rate = %v", c.Rate(3))
+	}
+	if c.Throughput(3) != 500 {
+		t.Fatalf("throughput = %v", c.Throughput(3))
+	}
+	if c.Rate(0) != 0 || c.Throughput(-1) != 0 {
+		t.Fatal("zero/negative elapsed should yield 0")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	if h.String() == "" {
+		t.Fatal("empty summary")
+	}
+}

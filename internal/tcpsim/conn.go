@@ -1,0 +1,441 @@
+package tcpsim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"smt/internal/cpusim"
+	"smt/internal/nicsim"
+	"smt/internal/sim"
+	"smt/internal/wire"
+)
+
+// Config tunes connections.
+type Config struct {
+	MTU    int
+	Window int      // fixed flow-control window (datacenter lab: large)
+	RTO    sim.Time // retransmission timeout
+	// AckEvery acknowledges every Nth in-order packet (2 models Linux
+	// delayed acks under load).
+	AckEvery int
+	// BurstGap: packets arriving within this gap of the previous one are
+	// GRO-coalesced (no per-burst fixed cost).
+	BurstGap sim.Time
+}
+
+// DefaultConfig returns evaluation defaults.
+func DefaultConfig() Config {
+	return Config{
+		MTU:      wire.DefaultMTU,
+		Window:   1 << 20,
+		RTO:      5 * sim.Millisecond,
+		AckEvery: 2,
+		BurstGap: 2 * sim.Microsecond,
+	}
+}
+
+// Stats counts connection events.
+type Stats struct {
+	MsgsSent      uint64
+	MsgsDelivered uint64
+	BytesSent     uint64
+	BytesRecv     uint64
+	AcksSent      uint64
+	FastRetx      uint64
+	RTORetx       uint64
+	DecodeErrors  uint64
+}
+
+// Conn is one TCP connection endpoint. Message semantics are layered on
+// the stream with a 4-byte length prefix, as datacenter RPC protocols do
+// (§2: "the application indicates the message length at the beginning of
+// each message").
+type Conn struct {
+	host      *cpusim.Host
+	cfg       Config
+	codec     Codec
+	localPort uint16
+	peerAddr  uint32
+	peerPort  uint16
+	appThread int
+	queue     int // fixed NIC queue (socket-lock serialization, §3.2)
+	core      int // RSS softirq core (fixed by the 5-tuple hash)
+
+	// sender state (byte offsets in the ciphertext stream)
+	chunks     []*txChunk
+	sndUna     int64
+	sndNxt     int64
+	highWater  int64 // total bytes queued
+	dupAcks    int
+	inRecovery bool
+	recover    int64 // NewReno recovery point: one fast retransmit per window
+	rto        *sim.Timer
+	nicNext    uint64 // next record seq the NIC context expects (hw)
+	ctxID      uint64
+
+	// receiver state
+	rcvNxt    int64
+	ooo       map[int64][]byte
+	rxPending []byte // in-order ciphertext awaiting app-context decode
+	rxSched   bool
+	lastRx    sim.Time
+	pktCount  int
+	ackTimer  *sim.Timer
+	appStream []byte // decoded plaintext awaiting message framing
+
+	onMessage   func([]byte)
+	onError     func(error)
+	established func(*Conn)
+	closed      bool
+
+	Stats Stats
+}
+
+type txChunk struct {
+	seq   int64
+	chunk Chunk
+	// firstSeq/nRecs track the TLS record sequence range for resync
+	// decisions on retransmit.
+	firstSeq uint64
+	nRecs    int
+}
+
+// framed prepends the 4-byte length prefix RPC framing.
+func framed(msg []byte) []byte {
+	out := make([]byte, 4+len(msg))
+	binary.BigEndian.PutUint32(out, uint32(len(msg)))
+	copy(out[4:], msg)
+	return out
+}
+
+// SendMessage writes one length-prefixed message to the stream. Syscall,
+// copy and codec (crypto) costs charge on the connection's app thread.
+func (c *Conn) SendMessage(msg []byte) {
+	if c.closed {
+		panic("tcpsim: send on closed conn")
+	}
+	if len(msg) == 0 {
+		panic("tcpsim: empty message")
+	}
+	c.Stats.MsgsSent++
+	c.Stats.BytesSent += uint64(len(msg))
+	cm := c.host.CM
+	data := framed(msg)
+	sendCost := cm.Syscall + cm.Copy(len(data)) + cm.TCPPerConn*sim.Time(c.host.StreamConns)
+	c.host.RunApp(c.appThread, sendCost, func() {
+		chunks, cpu := c.codec.EncodeStream(data)
+		c.host.RunApp(c.appThread, cpu+cm.TCPTxSegment, func() {
+			for i := range chunks {
+				tc := &txChunk{seq: c.highWater, chunk: chunks[i]}
+				if len(chunks[i].Records) > 0 {
+					tc.firstSeq = chunks[i].Records[0].Seq
+					tc.nRecs = len(chunks[i].Records)
+				}
+				c.highWater += int64(len(chunks[i].Bytes))
+				c.chunks = append(c.chunks, tc)
+			}
+			c.trySend()
+		})
+	})
+}
+
+// OnMessage registers the reassembled-message callback.
+func (c *Conn) OnMessage(fn func([]byte)) { c.onMessage = fn }
+
+// OnError registers the fatal-error callback (TLS alert equivalent).
+func (c *Conn) OnError(fn func(error)) { c.onError = fn }
+
+// AppThread reports the connection's application thread.
+func (c *Conn) AppThread() int { return c.appThread }
+
+// LocalPort reports the local port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// trySend transmits queued chunks within the window as TSO segments of
+// whole chunks (records never straddle segments, the kTLS-hw layout).
+func (c *Conn) trySend() {
+	for c.sndNxt < c.sndUna+int64(c.cfg.Window) {
+		var (
+			seg     []byte
+			recs    []nicsim.RecordDesc
+			keys    = (*txChunk)(nil)
+			started = c.sndNxt
+		)
+		for _, tc := range c.chunks {
+			end := tc.seq + int64(len(tc.chunk.Bytes))
+			if end <= c.sndNxt {
+				continue // already sent
+			}
+			if tc.seq != started+int64(len(seg)) {
+				break // non-contiguous (shouldn't happen)
+			}
+			if len(seg)+len(tc.chunk.Bytes) > wire.MaxTSOSegment {
+				break
+			}
+			if started+int64(len(seg))+int64(len(tc.chunk.Bytes)) > c.sndUna+int64(c.cfg.Window) {
+				break
+			}
+			for _, r := range tc.chunk.Records {
+				r.Off += len(seg)
+				recs = append(recs, r)
+			}
+			if tc.chunk.Keys != nil {
+				keys = tc
+			}
+			seg = append(seg, tc.chunk.Bytes...)
+		}
+		if len(seg) == 0 {
+			return
+		}
+		c.sendSegment(started, seg, recs, keysOf(keys), false)
+		c.sndNxt = started + int64(len(seg))
+	}
+}
+
+func keysOf(tc *txChunk) *txChunk { return tc }
+
+// sendSegment submits one TSO segment at stream offset seq.
+func (c *Conn) sendSegment(seq int64, payload []byte, recs []nicsim.RecordDesc, keyChunk *txChunk, retx bool) {
+	pkt := &wire.Packet{
+		IP: wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: c.host.Addr, Dst: c.peerAddr},
+		Overlay: wire.OverlayHeader{
+			SrcPort: c.localPort, DstPort: c.peerPort,
+			Type:      wire.TypeData,
+			TSOOffset: uint32(seq), // TCP sequence number
+			MsgLen:    uint32(len(payload)),
+		},
+		Payload: payload,
+	}
+	seg := &nicsim.TxSegment{Pkt: pkt, MTU: c.cfg.MTU}
+	if len(recs) > 0 && keyChunk != nil && keyChunk.chunk.Keys != nil {
+		seg.Records = recs
+		seg.Keys = keyChunk.chunk.Keys
+		seg.CtxID = c.ctxID
+		first := recs[0].Seq
+		if c.nicNext != first {
+			seg.Resync = true
+		}
+		c.nicNext = first + uint64(len(recs))
+	}
+	c.host.NIC.SendSegment(c.queue, seg)
+	c.armRTO()
+}
+
+func (c *Conn) armRTO() {
+	if c.rto != nil {
+		c.rto.Stop()
+	}
+	c.rto = c.host.Eng.After(c.cfg.RTO, func() {
+		if c.closed || c.sndUna >= c.highWater {
+			return
+		}
+		c.Stats.RTORetx++
+		c.inRecovery = true
+		c.recover = c.sndNxt
+		c.dupAcks = 0
+		c.retransmitFrom(c.sndUna)
+		c.armRTO()
+	})
+}
+
+// retransmitFrom resends the chunk containing stream offset seq (hardware
+// records get a resync; software ciphertext is resent verbatim).
+func (c *Conn) retransmitFrom(seq int64) {
+	for _, tc := range c.chunks {
+		end := tc.seq + int64(len(tc.chunk.Bytes))
+		if seq < tc.seq || seq >= end {
+			continue
+		}
+		cm := c.host.CM
+		c.host.RunSoftirq(c.core, cm.TCPTxSegment, func() {
+			recs := make([]nicsim.RecordDesc, len(tc.chunk.Records))
+			copy(recs, tc.chunk.Records)
+			c.sendSegment(tc.seq, tc.chunk.Bytes, recs, tc, true)
+		})
+		return
+	}
+}
+
+// handleAck processes a cumulative ACK on the softirq core, with
+// NewReno-style recovery: one fast retransmit per window, then one more
+// retransmission per partial ACK until the recovery point is crossed.
+func (c *Conn) handleAck(ack int64) {
+	if ack > c.sndUna {
+		c.sndUna = ack
+		c.dupAcks = 0
+		// Release fully acked chunks.
+		keep := c.chunks[:0]
+		for _, tc := range c.chunks {
+			if tc.seq+int64(len(tc.chunk.Bytes)) > ack {
+				keep = append(keep, tc)
+			}
+		}
+		c.chunks = keep
+		if c.inRecovery {
+			if ack >= c.recover {
+				c.inRecovery = false
+			} else {
+				c.retransmitFrom(c.sndUna) // partial ACK: next hole
+			}
+		}
+		if c.sndUna >= c.highWater && c.rto != nil {
+			c.rto.Stop()
+		}
+		c.trySend() // window slid open: ack-clocked transmission (softirq ctx)
+		return
+	}
+	if ack == c.sndUna && c.sndUna < c.sndNxt {
+		c.dupAcks++
+		if c.dupAcks >= 3 && !c.inRecovery {
+			c.Stats.FastRetx++
+			c.inRecovery = true
+			c.recover = c.sndNxt
+			c.dupAcks = 0
+			c.retransmitFrom(c.sndUna)
+		}
+	}
+}
+
+// handleData processes a data packet on the softirq core.
+func (c *Conn) handleData(pkt *wire.Packet) {
+	seq := int64(uint32(pkt.Overlay.TSOOffset))
+	data := pkt.Payload
+	advanced := false
+	switch {
+	case seq == c.rcvNxt:
+		c.rxPending = append(c.rxPending, data...)
+		c.rcvNxt += int64(len(data))
+		advanced = true
+		for {
+			d, ok := c.ooo[c.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(c.ooo, c.rcvNxt)
+			c.rxPending = append(c.rxPending, d...)
+			c.rcvNxt += int64(len(d))
+		}
+	case seq > c.rcvNxt:
+		if _, dup := c.ooo[seq]; !dup {
+			c.ooo[seq] = append([]byte(nil), data...)
+		}
+		c.sendAck() // immediate dupack
+	default:
+		c.sendAck() // stale retransmission: re-ack
+	}
+	if advanced {
+		c.pktCount++
+		if c.pktCount >= c.cfg.AckEvery {
+			c.sendAck()
+		} else if c.ackTimer == nil || !c.ackTimer.Active() {
+			// Delayed ACK: a lone packet is acknowledged after a short
+			// hold, like Linux's delayed-ACK timer.
+			c.ackTimer = c.host.Eng.After(40*sim.Microsecond, c.sendAck)
+		}
+		c.scheduleDelivery()
+	}
+	c.Stats.BytesRecv += uint64(len(data))
+}
+
+func (c *Conn) sendAck() {
+	c.pktCount = 0
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+	}
+	c.Stats.AcksSent++
+	cm := c.host.CM
+	c.host.RunSoftirq(c.core, cm.TCPAck, func() {
+		pkt := &wire.Packet{
+			IP: wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: c.host.Addr, Dst: c.peerAddr},
+			Overlay: wire.OverlayHeader{
+				SrcPort: c.localPort, DstPort: c.peerPort,
+				Type: wire.TypeAck, Aux: uint32(c.rcvNxt),
+			},
+		}
+		c.host.NIC.SendSegment(c.host.SoftirqQueue(c.core), &nicsim.TxSegment{Pkt: pkt, MTU: c.cfg.MTU, NoTSO: true})
+	})
+}
+
+// scheduleDelivery wakes the app thread; bytes arriving while the app is
+// busy are processed in the same wakeup (receive batching — TCP's
+// streaming overlap advantage for large transfers, §5.1), but one recv
+// cycle returns at most TCPDeliverBatch bytes: the application reads the
+// stream in buffer-sized chunks, so large messages take several
+// epoll+read cycles where a message transport delivers in one (§2).
+func (c *Conn) scheduleDelivery() {
+	if c.rxSched || len(c.rxPending) == 0 {
+		return
+	}
+	c.rxSched = true
+	cm := c.host.CM
+	c.host.RunSoftirq(c.core, cm.WakeupCPU, nil)
+	c.host.Eng.After(cm.WakeupLatency, func() { c.deliverCycle() })
+}
+
+func (c *Conn) deliverCycle() {
+	cm := c.host.CM
+	n := len(c.rxPending)
+	if max := cm.TCPDeliverBatch; max > 0 && n > max {
+		n = max
+	}
+	data := c.rxPending[:n]
+	c.rxPending = c.rxPending[n:]
+	plain, cpu, err := c.codec.DecodeStream(data)
+	if err != nil {
+		c.rxSched = false
+		c.Stats.DecodeErrors++
+		if c.onError != nil {
+			c.onError(err)
+		}
+		c.Close()
+		return
+	}
+	total := cm.EpollDispatch + cm.Syscall + cm.TCPDeliver + cm.Copy(len(data)) + cpu +
+		cm.TCPPerConn*sim.Time(c.host.StreamConns)
+	c.host.RunApp(c.appThread, total, func() {
+		c.appStream = append(c.appStream, plain...)
+		c.drainMessages()
+		if len(c.rxPending) > 0 {
+			c.deliverCycle() // next read() of the loop
+			return
+		}
+		c.rxSched = false
+	})
+}
+
+// drainMessages parses length-prefixed messages from the plaintext
+// stream.
+func (c *Conn) drainMessages() {
+	for {
+		if len(c.appStream) < 4 {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(c.appStream))
+		if len(c.appStream) < 4+n {
+			return
+		}
+		msg := append([]byte(nil), c.appStream[4:4+n]...)
+		c.appStream = c.appStream[4+n:]
+		c.Stats.MsgsDelivered++
+		if c.onMessage != nil {
+			c.onMessage(msg)
+		}
+	}
+}
+
+// Close tears the connection down locally (no FIN exchange modeled).
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.host.StreamConns--
+	if c.rto != nil {
+		c.rto.Stop()
+	}
+}
+
+// String identifies the connection.
+func (c *Conn) String() string {
+	return fmt.Sprintf("tcp %d:%d->%d:%d", c.host.Addr, c.localPort, c.peerAddr, c.peerPort)
+}

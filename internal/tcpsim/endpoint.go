@@ -1,0 +1,203 @@
+package tcpsim
+
+import (
+	"smt/internal/cpusim"
+	"smt/internal/nicsim"
+	"smt/internal/sim"
+	"smt/internal/wire"
+)
+
+// connKey identifies a peer endpoint.
+type connKey struct {
+	addr uint32
+	port uint16
+}
+
+// Endpoint demultiplexes TCP packets arriving at one (host, port) to
+// connections, implementing cpusim.Handler. A server endpoint accepts new
+// connections; a client endpoint fronts a single dialed connection.
+type Endpoint struct {
+	host     *cpusim.Host
+	port     uint16
+	cfg      Config
+	conns    map[connKey]*Conn
+	onAccept func(*Conn)
+	newCodec func() Codec
+	pickThr  func() int
+}
+
+// Listen binds a server endpoint on host:port. newCodec builds each
+// accepted connection's codec (TLS state is per connection); pickThread
+// assigns the app thread that owns the connection (nil = least loaded at
+// accept time).
+func Listen(host *cpusim.Host, port uint16, cfg Config, newCodec func() Codec, pickThread func() int, onAccept func(*Conn)) *Endpoint {
+	cfg = withDefaults(cfg)
+	if newCodec == nil {
+		newCodec = func() Codec { return PlainCodec{} }
+	}
+	e := &Endpoint{
+		host: host, port: port, cfg: cfg,
+		conns: make(map[connKey]*Conn), onAccept: onAccept,
+		newCodec: newCodec, pickThr: pickThread,
+	}
+	host.Bind(wire.ProtoTCP, port, e)
+	return e
+}
+
+// Dial opens a connection from host (owned by appThread) to dst. The
+// established callback fires when the SYN/SYN-ACK exchange completes.
+func Dial(host *cpusim.Host, appThread int, cfg Config, codec Codec, dstAddr uint32, dstPort uint16, established func(*Conn)) *Conn {
+	cfg = withDefaults(cfg)
+	if codec == nil {
+		codec = PlainCodec{}
+	}
+	local := host.AllocPort()
+	conn := newConn(host, cfg, codec, local, dstAddr, dstPort, appThread)
+	e := &Endpoint{host: host, port: local, cfg: cfg, conns: map[connKey]*Conn{{dstAddr, dstPort}: conn}}
+	host.Bind(wire.ProtoTCP, local, e)
+	conn.established = established
+	// SYN (charged as a syscall on the app thread).
+	host.RunApp(appThread, host.CM.Syscall, func() {
+		e.sendCtl(conn, 1) // SYN
+	})
+	return conn
+}
+
+func withDefaults(cfg Config) Config {
+	d := DefaultConfig()
+	if cfg.MTU == 0 {
+		cfg.MTU = d.MTU
+	}
+	if cfg.Window == 0 {
+		cfg.Window = d.Window
+	}
+	if cfg.RTO == 0 {
+		cfg.RTO = d.RTO
+	}
+	if cfg.AckEvery == 0 {
+		cfg.AckEvery = d.AckEvery
+	}
+	if cfg.BurstGap == 0 {
+		cfg.BurstGap = d.BurstGap
+	}
+	return cfg
+}
+
+func newConn(host *cpusim.Host, cfg Config, codec Codec, localPort uint16, peerAddr uint32, peerPort uint16, appThread int) *Conn {
+	c := &Conn{
+		host: host, cfg: cfg, codec: codec,
+		localPort: localPort, peerAddr: peerAddr, peerPort: peerPort,
+		appThread: appThread,
+		queue:     host.AppQueue(appThread),
+		ooo:       make(map[int64][]byte),
+		ctxID:     uint64(localPort)<<32 | uint64(peerPort)<<16 | uint64(wire.ProtoTCP),
+	}
+	f := wire.Flow{SrcIP: host.Addr, DstIP: peerAddr, SrcPort: localPort, DstPort: peerPort, Proto: wire.ProtoTCP}
+	c.core = int(f.FastHash() % uint64(len(host.Softirq)))
+	host.StreamConns++
+	return c
+}
+
+// sendCtl emits a SYN (kind 1) or SYN-ACK (kind 2).
+func (e *Endpoint) sendCtl(c *Conn, kind uint32) {
+	pkt := &wire.Packet{
+		IP: wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: e.host.Addr, Dst: c.peerAddr},
+		Overlay: wire.OverlayHeader{
+			SrcPort: c.localPort, DstPort: c.peerPort,
+			Type: wire.TypeHandshake, Aux: kind,
+		},
+	}
+	e.host.NIC.SendSegment(e.host.SoftirqQueue(c.core), &nicsim.TxSegment{Pkt: pkt, MTU: e.cfg.MTU, NoTSO: true})
+}
+
+// SteerCore implements cpusim.Handler: RSS pins the 5-tuple to a core.
+func (e *Endpoint) SteerCore(pkt *wire.Packet, ncores int) int {
+	return int(pkt.Flow().FastHash() % uint64(ncores))
+}
+
+// RxCost implements cpusim.Handler: NAPI poll cost once per idle gap on
+// the endpoint, then GRO semantics per packet — a packet merging into the
+// previous packet's aggregate (same connection, back to back) costs only
+// the merge; a new flow's packet starts a fresh protocol pass.
+func (e *Endpoint) RxCost(pkt *wire.Packet) sim.Time {
+	cm := e.host.CM
+	switch pkt.Overlay.Type {
+	case wire.TypeAck:
+		return cm.TCPAck
+	case wire.TypeHandshake:
+		return cm.TCPRxBatch
+	}
+	now := e.host.Eng.Now()
+	var cost sim.Time
+	if now-e.host.GROLastRx > e.cfg.BurstGap {
+		cost += cm.TCPRxBatch // NAPI wakeup after idle
+	}
+	fh := pkt.Flow().FastHash()
+	if fh == e.host.GROLastFlow && now-e.host.GROLastRx <= e.cfg.BurstGap {
+		cost += cm.TCPGROMerge
+	} else {
+		cost += cm.TCPRxPerPacket
+	}
+	e.host.GROLastFlow = fh
+	e.host.GROLastRx = now
+	return cost
+}
+
+// HandlePacket implements cpusim.Handler.
+func (e *Endpoint) HandlePacket(pkt *wire.Packet, core int) {
+	k := connKey{pkt.IP.Src, pkt.Overlay.SrcPort}
+	c := e.conns[k]
+	switch pkt.Overlay.Type {
+	case wire.TypeHandshake:
+		switch pkt.Overlay.Aux {
+		case 1: // SYN at listener
+			if c != nil || e.onAccept == nil {
+				return
+			}
+			thread := 0
+			if e.pickThr != nil {
+				thread = e.pickThr()
+			} else {
+				thread = e.host.LeastLoadedApp()
+			}
+			c = newConn(e.host, e.cfg, e.newCodec(), e.port, pkt.IP.Src, pkt.Overlay.SrcPort, thread)
+			c.core = core
+			e.conns[k] = c
+			e.sendCtl(c, 2)
+			if e.onAccept != nil {
+				e.onAccept(c)
+			}
+		case 2: // SYN-ACK at client
+			if c != nil && c.established != nil {
+				cb := c.established
+				c.established = nil
+				cb(c)
+			}
+		}
+	case wire.TypeData:
+		if c != nil {
+			c.handleData(pkt)
+		}
+	case wire.TypeAck:
+		if c != nil {
+			c.handleAck(int64(pkt.Overlay.Aux))
+		}
+	}
+}
+
+// Conns returns the endpoint's live connections (tests).
+func (e *Endpoint) Conns() []*Conn {
+	out := make([]*Conn, 0, len(e.conns))
+	for _, c := range e.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Close unbinds the endpoint and closes its connections.
+func (e *Endpoint) Close() {
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.host.Unbind(wire.ProtoTCP, e.port)
+}

@@ -1,0 +1,69 @@
+package tlsrec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSealInPlaceMatchesSealRecord(t *testing.T) {
+	a := testAEAD(t)
+	pt := []byte("the quick brown fox jumps over the lazy dog")
+	want, err := a.SealRecord(nil, 9, 23, pt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, len(want))
+	n := WriteRecordShell(buf, 0, 23, pt, 3)
+	if n != len(want) {
+		t.Fatalf("shell length %d, want %d", n, len(want))
+	}
+	if err := a.SealInPlace(buf, 0, len(pt)+1+3, 9); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("in-place seal differs from SealRecord output")
+	}
+	got, ct, err := a.OpenRecord(9, buf)
+	if err != nil || ct != 23 || !bytes.Equal(got, pt) {
+		t.Fatalf("open failed: %v", err)
+	}
+}
+
+func TestSealInPlaceAtOffset(t *testing.T) {
+	a := testAEAD(t)
+	pt := bytes.Repeat([]byte{0x5a}, 100)
+	const off = 44 // e.g. after a framing header within a segment
+	buf := make([]byte, off+RecordWireLen(len(pt), 0))
+	n := WriteRecordShell(buf, off, 23, pt, 0)
+	if err := a.SealInPlace(buf, off, len(pt)+1, 77); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.OpenRecord(77, buf[off:off+n])
+	if err != nil || !bytes.Equal(got, pt) {
+		t.Fatalf("offset seal/open failed: %v", err)
+	}
+}
+
+func TestSealInPlaceBoundsCheck(t *testing.T) {
+	a := testAEAD(t)
+	buf := make([]byte, 10)
+	if err := a.SealInPlace(buf, 0, 100, 0); err != ErrBadRecord {
+		t.Fatalf("err = %v, want ErrBadRecord", err)
+	}
+}
+
+// Sealing with the wrong sequence (the NIC out-of-sequence hazard of
+// Figure 2) must produce a record the receiver rejects.
+func TestSealInPlaceWrongSeqIsCorrupt(t *testing.T) {
+	a := testAEAD(t)
+	pt := []byte("message payload")
+	buf := make([]byte, RecordWireLen(len(pt), 0))
+	WriteRecordShell(buf, 0, 23, pt, 0)
+	if err := a.SealInPlace(buf, 0, len(pt)+1, 3 /* NIC counter */); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.OpenRecord(5 /* expected seq */, buf); err != ErrAuthFailed {
+		t.Fatalf("err = %v, want ErrAuthFailed", err)
+	}
+}

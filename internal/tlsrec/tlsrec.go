@@ -1,0 +1,148 @@
+// Package tlsrec implements the TLS 1.3 record protection layer used by
+// SMT and the baselines: AES-GCM AEAD with the RFC 8446 nonce
+// construction, record framing, padding-based length concealment, and the
+// three record-sequence-number schemes compared in Figure 4 of the paper:
+//
+//   - TLS/TCP: one per-connection 64-bit counter,
+//   - SMT: a composite number (message ID ‖ intra-message record index),
+//   - QUIC: a per-packet number.
+//
+// It also provides the replay guards SMT needs: per-message in-order
+// record tracking and session-wide message-ID uniqueness (§4.4, §6.1).
+package tlsrec
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"smt/internal/wire"
+)
+
+// Key sizes supported by the record layer.
+const (
+	Key128 = 16 // AES-128-GCM, the evaluation default
+	Key256 = 32 // AES-256-GCM, §7 post-quantum note
+)
+
+// Errors surfaced by record processing.
+var (
+	ErrAuthFailed   = errors.New("tlsrec: record authentication failed")
+	ErrBadRecord    = errors.New("tlsrec: malformed record")
+	ErrRecordTooBig = errors.New("tlsrec: plaintext exceeds maximum record size")
+	ErrReplay       = errors.New("tlsrec: replayed message ID")
+	ErrOutOfOrder   = errors.New("tlsrec: record out of order within its space")
+	ErrOverflow     = errors.New("tlsrec: sequence component exceeds allocated bits")
+)
+
+// AEAD is one direction of a record protection state: an AES-GCM key plus
+// the per-direction static IV from the TLS 1.3 key schedule. The nonce
+// for each record is IV XOR seq (RFC 8446 §5.3); callers provide seq
+// according to their scheme.
+type AEAD struct {
+	aead cipher.AEAD
+	iv   [wire.GCMNonceLen]byte
+}
+
+// NewAEAD builds record protection from a key (16 or 32 bytes) and a
+// 12-byte static IV.
+func NewAEAD(key, iv []byte) (*AEAD, error) {
+	if len(key) != Key128 && len(key) != Key256 {
+		return nil, fmt.Errorf("tlsrec: bad key length %d", len(key))
+	}
+	if len(iv) != wire.GCMNonceLen {
+		return nil, fmt.Errorf("tlsrec: bad IV length %d", len(iv))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	a := &AEAD{aead: g}
+	copy(a.iv[:], iv)
+	return a, nil
+}
+
+// Nonce computes the per-record nonce: the 64-bit sequence number is
+// left-padded to 12 bytes and XORed with the static IV.
+func (a *AEAD) Nonce(seq uint64) [wire.GCMNonceLen]byte {
+	n := a.iv
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], seq)
+	for i := 0; i < 8; i++ {
+		n[4+i] ^= s[i]
+	}
+	return n
+}
+
+// Overhead is the per-record expansion: header plus authentication tag.
+const Overhead = wire.RecordHeaderLen + wire.GCMTagLen
+
+// SealRecord encrypts plaintext as one TLS 1.3 record with sequence
+// number seq and appends header‖ciphertext‖tag to dst. padLen zero bytes
+// of RFC 8446 padding are included for length concealment. The inner
+// content type is contentType (RecordTypeApplicationData on the data
+// path).
+func (a *AEAD) SealRecord(dst []byte, seq uint64, contentType byte, plaintext []byte, padLen int) ([]byte, error) {
+	inner := len(plaintext) + 1 + padLen // TLSInnerPlaintext: content ‖ type ‖ zeros
+	if inner > wire.MaxTLSRecord+1 {
+		return nil, ErrRecordTooBig
+	}
+	hdr := wire.RecordHeader{
+		ContentType: wire.RecordTypeApplicationData,
+		Length:      uint16(inner + wire.GCMTagLen),
+	}
+	hdrStart := len(dst)
+	dst = hdr.AppendTo(dst)
+	aad := dst[hdrStart : hdrStart+wire.RecordHeaderLen]
+
+	// Build the inner plaintext in place at the tail of dst.
+	body := len(dst)
+	dst = append(dst, plaintext...)
+	dst = append(dst, contentType)
+	for i := 0; i < padLen; i++ {
+		dst = append(dst, 0)
+	}
+	nonce := a.Nonce(seq)
+	sealed := a.aead.Seal(dst[:body], nonce[:], dst[body:], aad)
+	return sealed, nil
+}
+
+// OpenRecord authenticates and decrypts one record (header included) with
+// sequence number seq, returning the inner plaintext (padding stripped)
+// and its content type. The returned slice aliases freshly allocated
+// memory, never record.
+func (a *AEAD) OpenRecord(seq uint64, record []byte) (plaintext []byte, contentType byte, err error) {
+	var hdr wire.RecordHeader
+	if err := hdr.DecodeFromBytes(record); err != nil {
+		return nil, 0, ErrBadRecord
+	}
+	if int(hdr.Length)+wire.RecordHeaderLen > len(record) {
+		return nil, 0, ErrBadRecord
+	}
+	aad := record[:wire.RecordHeaderLen]
+	ct := record[wire.RecordHeaderLen : wire.RecordHeaderLen+int(hdr.Length)]
+	nonce := a.Nonce(seq)
+	inner, err := a.aead.Open(nil, nonce[:], ct, aad)
+	if err != nil {
+		return nil, 0, ErrAuthFailed
+	}
+	// Strip RFC 8446 zero padding from the right, then the content type.
+	i := len(inner)
+	for i > 0 && inner[i-1] == 0 {
+		i--
+	}
+	if i == 0 {
+		return nil, 0, ErrBadRecord // all padding, no content type
+	}
+	return inner[:i-1], inner[i-1], nil
+}
+
+// RecordWireLen returns the serialized length of one record carrying n
+// plaintext bytes and padLen bytes of padding.
+func RecordWireLen(n, padLen int) int { return Overhead + n + 1 + padLen }

@@ -1,0 +1,104 @@
+package wire
+
+import "fmt"
+
+// Flow identifies a transport 5-tuple. An SMT session is identified by its
+// flow (§4.2); host stacks steer packets to cores by hashing it.
+type Flow struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Reverse returns the flow seen from the opposite direction.
+func (f Flow) Reverse() Flow {
+	return Flow{
+		SrcIP: f.DstIP, DstIP: f.SrcIP,
+		SrcPort: f.DstPort, DstPort: f.SrcPort,
+		Proto: f.Proto,
+	}
+}
+
+// String formats the flow as proto src -> dst.
+func (f Flow) String() string {
+	return fmt.Sprintf("proto=%d %d:%d->%d:%d", f.Proto, f.SrcIP, f.SrcPort, f.DstIP, f.DstPort)
+}
+
+// FastHash returns a symmetric hash of the flow: a flow and its reverse
+// hash identically, so both directions of a connection steer to the same
+// core (the gopacket Flow.FastHash contract). This is what RSS-style
+// 5-tuple steering uses, and is precisely why a TCP connection is pinned
+// to one core while message-based transports can spread messages.
+func (f Flow) FastHash() uint64 {
+	// Combine the endpoints order-independently, then mix.
+	a := uint64(f.SrcIP)<<16 | uint64(f.SrcPort)
+	b := uint64(f.DstIP)<<16 | uint64(f.DstPort)
+	if a > b {
+		a, b = b, a
+	}
+	h := a*0x9e3779b97f4a7c15 ^ b*0xc2b2ae3d27d4eb4f ^ uint64(f.Proto)*0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// Packet is the unit the network simulator moves around: decoded headers
+// plus payload bytes. Headers are kept decoded to avoid re-parsing at
+// every hop, but MarshalBinary/UnmarshalBinary produce and consume the
+// exact wire image so tests can exercise real encode/decode.
+type Packet struct {
+	IP      IPv4Header
+	Overlay OverlayHeader
+	Payload []byte
+
+	// TSOSegLen, when a packet represents an un-split TSO segment inside
+	// the host, holds the full segment length; zero on the wire.
+	TSOSegLen int
+}
+
+// Flow returns the packet's 5-tuple.
+func (p *Packet) Flow() Flow {
+	return Flow{
+		SrcIP: p.IP.Src, DstIP: p.IP.Dst,
+		SrcPort: p.Overlay.SrcPort, DstPort: p.Overlay.DstPort,
+		Proto: p.IP.Protocol,
+	}
+}
+
+// WireLen returns the packet's size on the wire in bytes.
+func (p *Packet) WireLen() int {
+	return IPv4HeaderLen + OverlayHeaderLen + len(p.Payload)
+}
+
+// MarshalBinary serializes the packet to its exact wire image.
+func (p *Packet) MarshalBinary() ([]byte, error) {
+	p.IP.TotalLen = uint16(p.WireLen())
+	b := make([]byte, 0, p.WireLen())
+	b = p.IP.AppendTo(b)
+	b = p.Overlay.AppendTo(b)
+	b = append(b, p.Payload...)
+	return b, nil
+}
+
+// UnmarshalBinary parses a wire image produced by MarshalBinary. The
+// payload is copied out of data.
+func (p *Packet) UnmarshalBinary(data []byte) error {
+	if err := p.IP.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	if err := p.Overlay.DecodeFromBytes(data[IPv4HeaderLen:]); err != nil {
+		return err
+	}
+	payload := data[IPv4HeaderLen+OverlayHeaderLen:]
+	p.Payload = append(p.Payload[:0], payload...)
+	p.TSOSegLen = 0
+	return nil
+}
+
+// Clone returns a deep copy of the packet (payload included).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Payload = append([]byte(nil), p.Payload...)
+	return &q
+}

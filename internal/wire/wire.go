@@ -1,0 +1,304 @@
+// Package wire defines the on-the-wire formats used by the SMT
+// reproduction: an IPv4 network header and the overlay-TCP transport
+// header shared by Homa and SMT (Figure 3 of the paper), plus the TLS
+// record header and the per-record framing header.
+//
+// The paper's key format trick is that the transport header *overlays* a
+// TCP header — the first 20 bytes line up with TCP's common header and the
+// following 20 bytes sit in TCP options space — so commodity-NIC TSO
+// replicates the shaded fields (message ID, message length, TSO offset)
+// onto every derived packet, and TLS autonomous offload can encrypt the
+// payload region.
+//
+// Encoding follows the gopacket DecodingLayer idiom: DecodeFromBytes
+// parses into a preallocated struct without allocating, and AppendTo
+// serializes by appending to a caller-provided buffer.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Sizes of the fixed-length headers, in bytes.
+const (
+	IPv4HeaderLen    = 20
+	OverlayHeaderLen = 40 // 20 B TCP common header + 20 B options space
+	FramingHeaderLen = 4  // application-data length, one per TLS record
+	RecordHeaderLen  = 5  // TLS 1.3 record header (type, version, length)
+	GCMTagLen        = 16 // AEAD authentication tag
+	GCMNonceLen      = 12 // AES-GCM nonce (IV XOR record sequence number)
+)
+
+// Protocol numbers carried in the IPv4 header. Homa and SMT are *native*
+// transports: they use their own numbers rather than hiding behind TCP's.
+const (
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+	ProtoHoma = 146 // experimental, matches Homa/Linux usage
+	ProtoSMT  = 147 // SMT native protocol number
+)
+
+// Transport limits from the paper (§4.3).
+const (
+	MaxTLSRecord  = 16 * 1024 // maximum TLS record payload
+	MaxTSOSegment = 64 * 1024 // maximum TSO segment handed to the NIC
+	DefaultMTU    = 1500      // evaluation default
+	JumboMTU      = 9000      // §5.2 "impact of a larger MTU"
+)
+
+// PacketType distinguishes the overlay-header packets. DATA carries
+// (possibly encrypted) message bytes; the control types mirror Homa's
+// protocol (GRANT ≈ NDP PULL, RESEND ≈ NDP NACK).
+type PacketType uint8
+
+// Overlay packet types.
+const (
+	TypeData PacketType = iota + 1
+	TypeGrant
+	TypeResend
+	TypeBusy
+	TypeAck
+	TypeHandshake // carries key-exchange payloads (§4.2, §4.5)
+)
+
+// String returns the conventional name of the packet type.
+func (t PacketType) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeGrant:
+		return "GRANT"
+	case TypeResend:
+		return "RESEND"
+	case TypeBusy:
+		return "BUSY"
+	case TypeAck:
+		return "ACK"
+	case TypeHandshake:
+		return "HANDSHAKE"
+	default:
+		return fmt.Sprintf("PacketType(%d)", uint8(t))
+	}
+}
+
+// Overlay header flag bits.
+const (
+	FlagRetransmit = 1 << iota // payload is a retransmission (§4.3)
+	FlagEncrypted              // payload is TLS-protected (SMT)
+	FlagLast                   // this TSO segment ends the message
+	FlagFirst                  // this TSO segment starts the message
+)
+
+// Errors returned by DecodeFromBytes implementations.
+var (
+	ErrTruncated   = errors.New("wire: buffer too short")
+	ErrBadVersion  = errors.New("wire: bad IP version")
+	ErrBadChecksum = errors.New("wire: bad IPv4 header checksum")
+	ErrBadDataOff  = errors.New("wire: bad overlay data offset")
+)
+
+// IPv4Header is the 20-byte network header (no options). The Homa/SMT
+// stacks use the ID field as the intra-TSO-segment packet offset: NIC TSO
+// increments IPID on every packet it cuts from a segment, which is exactly
+// the sequence the receiver needs to reassemble the segment (§4.3).
+type IPv4Header struct {
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst uint32
+}
+
+// AppendTo serializes h, appending IPv4HeaderLen bytes to b. The checksum
+// field is computed over the serialized header (any prior value ignored).
+func (h *IPv4Header) AppendTo(b []byte) []byte {
+	off := len(b)
+	b = append(b,
+		0x45, 0x00, // version 4, IHL 5, DSCP 0
+		byte(h.TotalLen>>8), byte(h.TotalLen),
+		byte(h.ID>>8), byte(h.ID),
+		0x40, 0x00, // flags: DF
+		h.TTL, h.Protocol,
+		0, 0, // checksum placeholder
+	)
+	var addr [8]byte
+	binary.BigEndian.PutUint32(addr[0:4], h.Src)
+	binary.BigEndian.PutUint32(addr[4:8], h.Dst)
+	b = append(b, addr[:]...)
+	ck := Checksum(b[off : off+IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[off+10:off+12], ck)
+	h.Checksum = ck
+	return b
+}
+
+// DecodeFromBytes parses an IPv4 header from data, verifying version and
+// checksum. It does not retain data.
+func (h *IPv4Header) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	if Checksum(data[:IPv4HeaderLen]) != 0 {
+		return ErrBadChecksum
+	}
+	h.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	h.ID = binary.BigEndian.Uint16(data[4:6])
+	h.TTL = data[8]
+	h.Protocol = data[9]
+	h.Checksum = binary.BigEndian.Uint16(data[10:12])
+	h.Src = binary.BigEndian.Uint32(data[12:16])
+	h.Dst = binary.BigEndian.Uint32(data[16:20])
+	return nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum of data. Verifying a
+// header including its checksum field yields 0.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for len(data) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[:2]))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// OverlayHeader is the 40-byte Homa/SMT transport header from Figure 3.
+//
+// Layout (big-endian), with the TCP field each word overlays in brackets:
+//
+//	 0                15                31
+//	+--------+--------+--------+--------+
+//	| src port        | dst port        |  [TCP ports]
+//	| hw seqno (unused, NIC may write)  |  [TCP sequence number]
+//	| type   (unused)                   |  [TCP acknowledgment number]
+//	| doff|fl| flags  | window (unused) |  [TCP doff/flags/window]
+//	| checksum        | TSO off (low16) |  [TCP checksum / urgent ptr]
+//	| message ID (hi)                   |  [options.................
+//	| message ID (lo)                   |   ........................
+//	| message length                    |   ........................
+//	| TSO off (hi16)  | resend pkt off  |   ........................
+//	| aux (grant off / resend len)      |   ................options]
+//	+--------+--------+--------+--------+
+//
+// Fields in options space are replicated across all packets that TSO cuts
+// from one segment; the IPv4 ID distinguishes the packets.
+type OverlayHeader struct {
+	SrcPort, DstPort uint16
+	HWSeq            uint32 // written by NICs that generate seqnos for non-TCP TSO
+	Type             PacketType
+	Flags            uint8
+	Checksum         uint16
+	MsgID            uint64
+	MsgLen           uint32
+	TSOOffset        uint32 // offset of this TSO segment within the message
+	ResendPktOff     uint16 // original packet offset within segment, for retransmits
+	Aux              uint32 // GRANT: grant offset; RESEND: length; others: 0
+}
+
+// AppendTo serializes h, appending OverlayHeaderLen bytes to b.
+func (h *OverlayHeader) AppendTo(b []byte) []byte {
+	var buf [OverlayHeaderLen]byte
+	binary.BigEndian.PutUint16(buf[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(buf[4:8], h.HWSeq)
+	buf[8] = byte(h.Type)
+	buf[12] = 10 << 4 // data offset: 10 words = 40 bytes
+	buf[13] = h.Flags
+	binary.BigEndian.PutUint16(buf[16:18], h.Checksum)
+	binary.BigEndian.PutUint16(buf[18:20], uint16(h.TSOOffset&0xffff))
+	binary.BigEndian.PutUint64(buf[20:28], h.MsgID)
+	binary.BigEndian.PutUint32(buf[28:32], h.MsgLen)
+	binary.BigEndian.PutUint16(buf[32:34], uint16(h.TSOOffset>>16))
+	binary.BigEndian.PutUint16(buf[34:36], h.ResendPktOff)
+	binary.BigEndian.PutUint32(buf[36:40], h.Aux)
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes parses an overlay header from data without retaining it.
+func (h *OverlayHeader) DecodeFromBytes(data []byte) error {
+	if len(data) < OverlayHeaderLen {
+		return ErrTruncated
+	}
+	if data[12]>>4 != 10 {
+		return ErrBadDataOff
+	}
+	h.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	h.DstPort = binary.BigEndian.Uint16(data[2:4])
+	h.HWSeq = binary.BigEndian.Uint32(data[4:8])
+	h.Type = PacketType(data[8])
+	h.Flags = data[13]
+	h.Checksum = binary.BigEndian.Uint16(data[16:18])
+	lo := uint32(binary.BigEndian.Uint16(data[18:20]))
+	h.MsgID = binary.BigEndian.Uint64(data[20:28])
+	h.MsgLen = binary.BigEndian.Uint32(data[28:32])
+	hi := uint32(binary.BigEndian.Uint16(data[32:34]))
+	h.TSOOffset = hi<<16 | lo
+	h.ResendPktOff = binary.BigEndian.Uint16(data[34:36])
+	h.Aux = binary.BigEndian.Uint32(data[36:40])
+	return nil
+}
+
+// FramingHeader precedes each TLS record's plaintext in a DATA segment and
+// carries the application-data length of the record (§4.3). It stays in
+// plaintext so the receiver can reassemble records from packets; §4.3
+// notes it could be removed (see the framing ablation).
+type FramingHeader struct {
+	AppDataLen uint32
+}
+
+// AppendTo serializes f, appending FramingHeaderLen bytes to b.
+func (f *FramingHeader) AppendTo(b []byte) []byte {
+	var buf [FramingHeaderLen]byte
+	binary.BigEndian.PutUint32(buf[:], f.AppDataLen)
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes parses a framing header from data.
+func (f *FramingHeader) DecodeFromBytes(data []byte) error {
+	if len(data) < FramingHeaderLen {
+		return ErrTruncated
+	}
+	f.AppDataLen = binary.BigEndian.Uint32(data[:FramingHeaderLen])
+	return nil
+}
+
+// TLS record content types (RFC 8446 §5.1); only ApplicationData appears
+// on SMT's data path, the rest exist for handshake transcripts.
+const (
+	RecordTypeHandshake       = 22
+	RecordTypeApplicationData = 23
+	RecordTypeAlert           = 21
+)
+
+// RecordHeader is the 5-byte TLS record header. Version is fixed to
+// 0x0303 (TLS 1.2 compatibility value used by TLS 1.3).
+type RecordHeader struct {
+	ContentType uint8
+	Length      uint16 // ciphertext length including the 16-byte tag
+}
+
+// AppendTo serializes r, appending RecordHeaderLen bytes to b.
+func (r *RecordHeader) AppendTo(b []byte) []byte {
+	return append(b, r.ContentType, 0x03, 0x03, byte(r.Length>>8), byte(r.Length))
+}
+
+// DecodeFromBytes parses a TLS record header from data.
+func (r *RecordHeader) DecodeFromBytes(data []byte) error {
+	if len(data) < RecordHeaderLen {
+		return ErrTruncated
+	}
+	r.ContentType = data[0]
+	r.Length = binary.BigEndian.Uint16(data[3:5])
+	return nil
+}

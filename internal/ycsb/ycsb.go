@@ -1,0 +1,118 @@
+// Package ycsb generates YCSB-style key-value workloads (Cooper et al.,
+// SoCC'10) for the Figure 8 Redis experiment: workloads A–E with
+// Zipfian, latest and uniform request distributions.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpType is a key-value operation kind.
+type OpType int
+
+// Operation kinds.
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+	OpScan
+)
+
+// Op is one generated operation.
+type Op struct {
+	Type    OpType
+	Key     uint64
+	ScanLen int // for OpScan
+}
+
+// Workload identifies the standard YCSB mixes.
+type Workload byte
+
+// The standard workloads used in Figure 8.
+const (
+	WorkloadA Workload = 'A' // update heavy: 50/50 read/update, zipfian
+	WorkloadB Workload = 'B' // read mostly: 95/5, zipfian
+	WorkloadC Workload = 'C' // read only, zipfian
+	WorkloadD Workload = 'D' // read latest: 95/5 read/insert, latest
+	WorkloadE Workload = 'E' // short ranges: 95/5 scan/insert, zipfian
+)
+
+// String names the workload.
+func (w Workload) String() string { return fmt.Sprintf("YCSB-%c", byte(w)) }
+
+// Generator produces operations for one workload over a keyspace.
+type Generator struct {
+	W        Workload
+	Keys     uint64
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	inserted uint64
+	// MaxScanLen bounds OpScan lengths (YCSB default 100).
+	MaxScanLen int
+}
+
+// New creates a generator with the given seed over `keys` records.
+func New(w Workload, keys uint64, seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{
+		W: w, Keys: keys, rng: rng,
+		zipf:       rand.NewZipf(rng, 1.01, 1, keys-1),
+		inserted:   keys,
+		MaxScanLen: 100,
+	}
+}
+
+// scramble spreads hot Zipf ranks over the keyspace (YCSB's scrambled
+// zipfian), so hotness is not correlated with key order.
+func (g *Generator) scramble(rank uint64) uint64 {
+	h := rank * 0x9e3779b97f4a7c15
+	h ^= h >> 33
+	return h % g.Keys
+}
+
+// latest favors recently inserted keys (exponential from the tail).
+func (g *Generator) latest() uint64 {
+	off := uint64(math.Abs(g.rng.ExpFloat64()) * float64(g.Keys) / 20)
+	if off >= g.inserted {
+		off = g.inserted - 1
+	}
+	return (g.inserted - 1 - off) % g.Keys
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	p := g.rng.Float64()
+	switch g.W {
+	case WorkloadA:
+		if p < 0.5 {
+			return Op{Type: OpRead, Key: g.scramble(g.zipf.Uint64())}
+		}
+		return Op{Type: OpUpdate, Key: g.scramble(g.zipf.Uint64())}
+	case WorkloadB:
+		if p < 0.95 {
+			return Op{Type: OpRead, Key: g.scramble(g.zipf.Uint64())}
+		}
+		return Op{Type: OpUpdate, Key: g.scramble(g.zipf.Uint64())}
+	case WorkloadC:
+		return Op{Type: OpRead, Key: g.scramble(g.zipf.Uint64())}
+	case WorkloadD:
+		if p < 0.95 {
+			return Op{Type: OpRead, Key: g.latest()}
+		}
+		g.inserted++
+		return Op{Type: OpInsert, Key: g.inserted % g.Keys}
+	case WorkloadE:
+		if p < 0.95 {
+			return Op{
+				Type: OpScan, Key: g.scramble(g.zipf.Uint64()),
+				ScanLen: 1 + g.rng.Intn(g.MaxScanLen),
+			}
+		}
+		g.inserted++
+		return Op{Type: OpInsert, Key: g.inserted % g.Keys}
+	default:
+		return Op{Type: OpRead, Key: g.rng.Uint64() % g.Keys}
+	}
+}

@@ -1,0 +1,82 @@
+package ycsb
+
+import "testing"
+
+func TestMixes(t *testing.T) {
+	count := func(w Workload) map[OpType]int {
+		g := New(w, 1000, 1)
+		m := map[OpType]int{}
+		for i := 0; i < 20000; i++ {
+			m[g.Next().Type]++
+		}
+		return m
+	}
+	a := count(WorkloadA)
+	if r := float64(a[OpRead]) / 20000; r < 0.45 || r > 0.55 {
+		t.Fatalf("A read ratio %.2f", r)
+	}
+	b := count(WorkloadB)
+	if r := float64(b[OpRead]) / 20000; r < 0.93 || r > 0.97 {
+		t.Fatalf("B read ratio %.2f", r)
+	}
+	c := count(WorkloadC)
+	if c[OpRead] != 20000 {
+		t.Fatal("C must be read-only")
+	}
+	d := count(WorkloadD)
+	if d[OpInsert] == 0 || d[OpUpdate] != 0 {
+		t.Fatalf("D mix wrong: %v", d)
+	}
+	e := count(WorkloadE)
+	if r := float64(e[OpScan]) / 20000; r < 0.93 || r > 0.97 {
+		t.Fatalf("E scan ratio %.2f", r)
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	for _, w := range []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE} {
+		g := New(w, 500, 2)
+		for i := 0; i < 5000; i++ {
+			op := g.Next()
+			if op.Key >= 500 {
+				t.Fatalf("%v: key %d out of range", w, op.Key)
+			}
+			if op.Type == OpScan && (op.ScanLen < 1 || op.ScanLen > g.MaxScanLen) {
+				t.Fatalf("scan len %d", op.ScanLen)
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(WorkloadC, 10000, 3)
+	freq := map[uint64]int{}
+	for i := 0; i < 50000; i++ {
+		freq[g.Next().Key]++
+	}
+	max := 0
+	for _, n := range freq {
+		if n > max {
+			max = n
+		}
+	}
+	// Zipfian: the hottest key should be far above uniform (5/key).
+	if max < 500 {
+		t.Fatalf("hottest key only %d hits; distribution not skewed", max)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(WorkloadA, 100, 9), New(WorkloadA, 100, 9)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must generate same stream")
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if WorkloadA.String() != "YCSB-A" {
+		t.Fatal(WorkloadA.String())
+	}
+}

@@ -1,0 +1,66 @@
+// Package smt is the public facade of the SMT reproduction: Secure
+// Message Transport — TLS-based encryption integrated into a Homa-style
+// message transport for datacenter RPCs ("Designing Transport-Level
+// Encryption for Datacenter Networks", SIGCOMM 2025).
+//
+// The facade re-exports the pieces a user composes:
+//
+//	world := smt.NewWorld(seed)                      // two-host testbed
+//	srv := smt.NewSocket(world.Server, smt.Config{...})
+//	cli := smt.NewSocket(world.Client, smt.Config{...})
+//	smt.PairSessions(cli, cli.Port(), srv, port, 1)  // or run a handshake
+//	cli.Send(dstAddr, dstPort, payload, thread)
+//
+// Everything underneath lives in internal/: the discrete-event engine,
+// the host/NIC/network models, the Homa engine, the TCP/kTLS/TCPLS
+// baselines, and one experiment runner per table/figure of the paper.
+package smt
+
+import (
+	"smt/internal/core"
+	"smt/internal/cpusim"
+	"smt/internal/experiments"
+	"smt/internal/homa"
+	"smt/internal/tlsrec"
+)
+
+// Re-exported core types: see internal/core for full documentation.
+type (
+	// Config configures an SMT socket (transport + encryption policy).
+	Config = core.Config
+	// Socket is an SMT endpoint.
+	Socket = core.Socket
+	// SessionKeys carries per-direction AEAD material (§4.2).
+	SessionKeys = core.SessionKeys
+	// Codec is one peer session's encryption state.
+	Codec = core.Codec
+	// TransportConfig carries the Homa-level knobs.
+	TransportConfig = homa.Config
+	// Delivery is a verified incoming message.
+	Delivery = homa.Delivery
+	// BitAllocation is the composite sequence-number split (§4.4.1).
+	BitAllocation = tlsrec.BitAllocation
+	// World is the simulated two-host testbed.
+	World = experiments.World
+)
+
+// DefaultAllocation is the paper's 48-bit message ID + 16-bit record
+// index split.
+var DefaultAllocation = tlsrec.DefaultAllocation
+
+// NewWorld builds a deterministic two-host testbed (12 app threads and 4
+// stack cores per host on a 100 GbE back-to-back link).
+func NewWorld(seed int64) *World { return experiments.NewWorld(seed) }
+
+// Host is one simulated machine (cores + NIC).
+type Host = cpusim.Host
+
+// NewSocket creates an SMT socket on a host of a World.
+func NewSocket(host *Host, cfg Config) *Socket { return core.NewSocket(host, cfg) }
+
+// PairSessions installs mirrored session keys on two sockets — the state
+// a completed TLS 1.3 handshake produces (see internal/handshake for the
+// real exchange).
+func PairSessions(a *Socket, aPeerPort uint16, b *Socket, bPeerPort uint16, seed byte) error {
+	return core.PairSessions(a, aPeerPort, b, bPeerPort, seed)
+}
