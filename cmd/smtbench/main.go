@@ -1,7 +1,11 @@
 // Command smtbench regenerates every table and figure of the paper's
-// evaluation from the simulated testbed. Run with a subcommand (table1,
-// table2, fig2, fig5, fig6, fig7, fig7mtu, cpuusage, fig8, fig9, fig10,
-// fig11, fig12) or `all`.
+// evaluation from the simulated testbed as formatted, human-readable
+// tables. Run with a subcommand (table1, table2, fig2, fig5, fig6,
+// fig7, fig7mtu, cpuusage, fig8, fig9, fig10, fig11, fig12) or `all`.
+//
+// It runs the typed serial drivers directly; for parallel sweeps and
+// machine-readable JSON artifacts use cmd/smtexp, which runs the same
+// measurements through the experiment registry.
 package main
 
 import (

@@ -1,0 +1,150 @@
+// Command smtexp is the experiment harness CLI: it lists the registered
+// experiments (every table/figure of the paper's evaluation), runs any
+// subset by name with a parallel worker pool, and emits machine-readable
+// JSON artifacts.
+//
+// Usage:
+//
+//	smtexp -list                     # what is registered, with point counts
+//	smtexp -run fig6                 # one experiment, human-readable rows
+//	smtexp -run fig6,fig7 -json o.json -workers 8
+//	smtexp -run all -json all.json   # the full evaluation
+//
+// Points of one experiment fan out across -workers goroutines (default
+// GOMAXPROCS); each point is an independent (configuration, seed) world,
+// so results are identical to a serial run and always printed in
+// canonical point order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"smt/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list registered experiments and exit")
+		run     = flag.String("run", "", "comma-separated experiment names to run, or 'all'")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent points")
+		jsonOut = flag.String("json", "", "write a JSON artifact to this path")
+		quiet   = flag.Bool("quiet", false, "suppress per-point rows; print summaries only")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		listExperiments()
+	case *run != "":
+		if err := runExperiments(*run, *workers, *jsonOut, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "smtexp:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func listExperiments() {
+	fmt.Printf("%-10s %6s  %s\n", "NAME", "POINTS", "DESCRIPTION")
+	for _, e := range experiments.All() {
+		fmt.Printf("%-10s %6d  %s\n", e.Name(), len(e.Points()), e.Describe())
+	}
+}
+
+func runExperiments(arg string, workers int, jsonOut string, quiet bool) error {
+	names := splitNames(arg)
+	if len(names) == 0 {
+		return fmt.Errorf("no experiment names in %q (try -list)", arg)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var onResult func(experiments.Result)
+	if !quiet {
+		onResult = printResult
+	}
+	start := time.Now()
+	runs, err := experiments.RunNamed(names, experiments.RunOptions{
+		Workers:  workers,
+		OnResult: onResult,
+	})
+	if err != nil {
+		return err
+	}
+
+	var points, failed int
+	for _, r := range runs {
+		for _, res := range r.Results {
+			points++
+			if res.Err != "" {
+				failed++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-10s %4d points in %8.1f ms\n", r.Name, len(r.Results), r.ElapsedMs)
+	}
+	fmt.Fprintf(os.Stderr, "total: %d experiments, %d points, %d failed, %.1fs wall (%d workers)\n",
+		len(runs), points, failed, time.Since(start).Seconds(), workers)
+
+	if jsonOut != "" {
+		a := &experiments.Artifact{
+			Version:     experiments.ArtifactVersion,
+			Tool:        "smtexp",
+			GoVersion:   runtime.Version(),
+			CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+			Workers:     workers,
+			Experiments: runs,
+		}
+		if err := experiments.WriteArtifact(jsonOut, a); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonOut)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d point(s) failed", failed)
+	}
+	return nil
+}
+
+// splitNames expands "all" and trims a comma-separated -run argument.
+func splitNames(arg string) []string {
+	if arg == "all" {
+		return experiments.Names()
+	}
+	var names []string
+	for _, n := range strings.Split(arg, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// printResult renders one point as a human-readable row. Called from
+// worker goroutines; a single Printf keeps each row atomic enough for
+// line-oriented output.
+func printResult(r experiments.Result) {
+	if r.Err != "" {
+		fmt.Printf("%-8s %-40s ERROR: %s\n", r.Experiment, r.Key, r.Err)
+		return
+	}
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-40s", r.Experiment, r.Key)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%.6g", k, r.Values[k])
+	}
+	fmt.Fprintf(&b, " (%.1fms)\n", r.ElapsedMs)
+	fmt.Print(b.String())
+}

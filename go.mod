@@ -1,0 +1,3 @@
+module smt
+
+go 1.24

@@ -1,29 +1,38 @@
 package experiments
 
 import (
+	"fmt"
 	"testing"
 
 	"smt/internal/handshake"
+	"smt/internal/sim"
 	"smt/internal/ycsb"
 )
 
-// TestFig8Shape checks the §5.3 orderings on one representative cell per
+// testFig8Shape checks the §5.3 orderings on one representative cell per
 // value size: SMT-sw beats user TLS and kTLS-sw; SMT-hw beats kTLS-hw;
 // TCP (plain) slightly beats Homa at 4 KB values while Homa wins small.
-func TestFig8Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
+// Runs under TestExperiments; all (system, value) cells fan out at once.
+func testFig8Shape(t *testing.T) {
+	values := []int{64, 1024, 4096}
+	nsys := len(Fig8Systems())
+	rows := make([]Fig8Row, len(values)*nsys)
+	ForEach(len(rows), 0, func(i int) {
+		// Fig8Systems is rebuilt per point: redisSystem carries
+		// per-setup socket state and must not be shared.
+		rows[i] = MeasureRedis(Fig8Systems()[i%nsys], ycsb.WorkloadB, values[i/nsys], 64, 99)
+	})
 	get := func(valueSize int) map[string]float64 {
 		out := map[string]float64{}
-		for _, sys := range Fig8Systems() {
-			r := MeasureRedis(sys, ycsb.WorkloadB, valueSize, 64, 99)
-			out[r.System] = r.OpsPerSec
-			t.Logf("YCSB-B v=%d %-8s %.0f ops/s", valueSize, r.System, r.OpsPerSec)
+		for _, r := range rows {
+			if r.Value == valueSize {
+				out[r.System] = r.OpsPerSec
+				t.Logf("YCSB-B v=%d %-8s %.0f ops/s", valueSize, r.System, r.OpsPerSec)
+			}
 		}
 		return out
 	}
-	for _, v := range []int{64, 1024, 4096} {
+	for _, v := range values {
 		m := get(v)
 		if m["SMT-sw"] <= m["TLS"] {
 			t.Errorf("v=%d: SMT-sw (%f) must beat user TLS (%f)", v, m["SMT-sw"], m["TLS"])
@@ -48,22 +57,22 @@ func TestFig8Shape(t *testing.T) {
 	}
 }
 
-// TestFig9Shape checks §5.4: no advantage at iodepth 1, visible P99
-// improvement at iodepth 8.
-func TestFig9Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
+// testFig9Shape checks §5.4: no advantage at iodepth 1, visible P99
+// improvement at iodepth 8. Runs under TestExperiments, cells in parallel.
+func testFig9Shape(t *testing.T) {
+	depths := []int{1, 8}
+	nsys := len(Fig6Systems())
+	flat := make([]Fig9Row, len(depths)*nsys)
+	ForEach(len(flat), 0, func(i int) {
+		flat[i] = MeasureNVMeoF(Fig6Systems()[i%nsys], depths[i/nsys], 12)
+	})
 	rows := map[string]map[int]Fig9Row{}
-	for _, d := range []int{1, 8} {
-		for _, sys := range Fig6Systems() {
-			r := MeasureNVMeoF(sys, d, 12)
-			if rows[r.System] == nil {
-				rows[r.System] = map[int]Fig9Row{}
-			}
-			rows[r.System][d] = r
-			t.Logf("iodepth=%d %-8s p50=%.1fµs p99=%.1fµs", d, r.System, r.P50Us, r.P99Us)
+	for _, r := range flat {
+		if rows[r.System] == nil {
+			rows[r.System] = map[int]Fig9Row{}
 		}
+		rows[r.System][r.IODepth] = r
+		t.Logf("iodepth=%d %-8s p50=%.1fµs p99=%.1fµs", r.IODepth, r.System, r.P50Us, r.P99Us)
 	}
 	// iodepth 1: SMT within ±10% of kTLS (no clear advantage).
 	d1 := rows["SMT-sw"][1].P50Us / rows["kTLS-sw"][1].P50Us
@@ -88,16 +97,19 @@ func TestFig9Shape(t *testing.T) {
 	}
 }
 
-// TestFig10Shape checks §5.5: SMT-sw 5–18 % and SMT-hw 12–18 % lower
-// latency than TCPLS.
-func TestFig10Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
-	for _, size := range []int{64, 1024, 16384} {
-		tls := MeasureRTT(tcplsSystem(), size, 0, false, 3)
-		ssw := MeasureRTT(smtSystem(false), size, 0, false, 3)
-		shw := MeasureRTT(smtSystem(true), size, 0, false, 3)
+// testFig10Shape checks §5.5: SMT-sw 5–18 % and SMT-hw 12–18 % lower
+// latency than TCPLS. Runs under TestExperiments, cells in parallel.
+func testFig10Shape(t *testing.T) {
+	sizes := []int{64, 1024, 16384}
+	mk := []func() System{tcplsSystem, func() System { return smtSystem(false) }, func() System { return smtSystem(true) }}
+	rows := make([]RTTRow, len(sizes)*len(mk))
+	ForEach(len(rows), 0, func(i int) {
+		rows[i] = MeasureRTT(mk[i%len(mk)](), sizes[i/len(mk)], 0, false, 3)
+	})
+	for si, size := range sizes {
+		tls := rows[si*len(mk)]
+		ssw := rows[si*len(mk)+1]
+		shw := rows[si*len(mk)+2]
 		t.Logf("%6dB TCPLS=%v SMT-sw=%v SMT-hw=%v", size, tls.MeanRTT, ssw.MeanRTT, shw.MeanRTT)
 		gSW := ratio(float64(tls.MeanRTT), float64(ssw.MeanRTT))
 		gHW := ratio(float64(tls.MeanRTT), float64(shw.MeanRTT))
@@ -113,13 +125,27 @@ func TestFig10Shape(t *testing.T) {
 	}
 }
 
-// TestFig11Shape: TSO beats software segmentation, more with size; the
-// penalty stays moderate (§7: smaller than it would be for TCP).
-func TestFig11Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
+// testFig11Shape: TSO beats software segmentation, more with size; the
+// penalty stays moderate (§7: smaller than it would be for TCP). Runs
+// under TestExperiments, via the registered fig11 sweep in parallel.
+func testFig11Shape(t *testing.T) {
+	fig11, ok := Lookup("fig11")
+	if !ok {
+		t.Fatal("fig11 not registered")
 	}
-	rows := Fig11()
+	var rows []RTTRow
+	for _, res := range Run(fig11, RunOptions{}) {
+		if res.Err != "" {
+			t.Fatalf("point %s failed: %s", res.Key, res.Err)
+		}
+		size := 0
+		fmt.Sscanf(res.Labels["size"], "%d", &size)
+		rows = append(rows, RTTRow{
+			System:  res.Labels["system"],
+			Size:    size,
+			MeanRTT: sim.Time(res.Values["mean_rtt_ns"]),
+		})
+	}
 	byKey := map[string]map[int]float64{}
 	for _, r := range rows {
 		if byKey[r.System] == nil {
@@ -140,8 +166,8 @@ func TestFig11Shape(t *testing.T) {
 	}
 }
 
-// TestFig2Scenarios: the three Figure 2 outcomes.
-func TestFig2Scenarios(t *testing.T) {
+// testFig2Scenarios: the three Figure 2 outcomes.
+func testFig2Scenarios(t *testing.T) {
 	rows := Fig2()
 	if len(rows) != 3 {
 		t.Fatal("want 3 scenarios")
@@ -157,17 +183,19 @@ func TestFig2Scenarios(t *testing.T) {
 	}
 }
 
-// TestFig12KeyExchange: end-to-end over the SMT socket: 0-RTT init beats
-// 1-RTT; derived keys actually carry the first RPC.
-func TestFig12KeyExchange(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
+// testFig12KeyExchange: end-to-end over the SMT socket: 0-RTT init beats
+// 1-RTT; derived keys actually carry the first RPC. Runs under
+// TestExperiments, modes in parallel.
+func testFig12KeyExchange(t *testing.T) {
+	modes := []handshake.Mode{
+		handshake.Init1RTT, handshake.Init0RTT, handshake.Init0RTTFS,
+		handshake.Rsmp, handshake.RsmpFS,
 	}
-	init1 := MeasureKeyExchange(handshake.Init1RTT, 1024, 5)
-	init0 := MeasureKeyExchange(handshake.Init0RTT, 1024, 5)
-	init0fs := MeasureKeyExchange(handshake.Init0RTTFS, 1024, 5)
-	rsmp := MeasureKeyExchange(handshake.Rsmp, 1024, 5)
-	rsmpFS := MeasureKeyExchange(handshake.RsmpFS, 1024, 5)
+	rows := make([]Fig12Row, len(modes))
+	ForEach(len(modes), 0, func(i int) {
+		rows[i] = MeasureKeyExchange(modes[i], 1024, 5)
+	})
+	init1, init0, init0fs, rsmp, rsmpFS := rows[0], rows[1], rows[2], rows[3], rows[4]
 	for _, r := range []Fig12Row{init1, init0, init0fs, rsmp, rsmpFS} {
 		t.Logf("%-10s %.0fµs", r.Mode, r.TimeUs)
 		if r.TimeUs <= 0 {
@@ -185,8 +213,8 @@ func TestFig12KeyExchange(t *testing.T) {
 	}
 }
 
-// TestTable1AndFig5 sanity-check the static artifacts.
-func TestTable1AndFig5(t *testing.T) {
+// testTable1AndFig5 sanity-checks the static artifacts.
+func testTable1AndFig5(t *testing.T) {
 	if rows := Table1(); len(rows) != 10 || rows[4].System != "SMT" {
 		t.Fatal("Table 1 rows wrong")
 	}

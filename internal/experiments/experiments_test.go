@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestExperiments is the umbrella over every shape test of the paper's
+// evaluation. The shape tests are independent — each measurement builds
+// its own World — so they run as parallel subtests, and their inner
+// measurement loops additionally fan out with ForEach. On a multi-core
+// machine this cuts the sweep's wall-clock by the worker count compared
+// to the original serial runners; results are identical either way.
+// (The nested fan-out cannot oversubscribe CPUs: GOMAXPROCS bounds the
+// goroutines actually executing, extras just queue.)
+//
+// Expensive sweeps are skipped under -short (CI); the cheap static
+// checks and the registry/runner/artifact unit tests always run.
+func TestExperiments(t *testing.T) {
+	subtests := []struct {
+		name  string
+		fn    func(*testing.T)
+		cheap bool // runs even under -short
+	}{
+		{"Fig2Scenarios", testFig2Scenarios, true},
+		{"Table1AndFig5", testTable1AndFig5, true},
+		{"Fig6Shape", testFig6Shape, false},
+		{"Fig7Shape", testFig7Shape, false},
+		{"Fig8Shape", testFig8Shape, false},
+		{"Fig9Shape", testFig9Shape, false},
+		{"Fig10Shape", testFig10Shape, false},
+		{"Fig11Shape", testFig11Shape, false},
+		{"Fig12KeyExchange", testFig12KeyExchange, false},
+	}
+	for _, st := range subtests {
+		t.Run(st.name, func(t *testing.T) {
+			if testing.Short() && !st.cheap {
+				t.Skip("simulation sweep; run without -short")
+			}
+			t.Parallel()
+			st.fn(t)
+		})
+	}
+}

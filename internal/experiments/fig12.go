@@ -8,8 +8,16 @@ import (
 	"smt/internal/sim"
 )
 
-// Fig12Sizes are the x-axis RPC sizes of Figure 12.
-var Fig12Sizes = []int{64, 128, 256, 1024, 4096, 8192}
+// Fig12Sizes are the x-axis RPC sizes of Figure 12; Fig12Modes are the
+// key-exchange variants. Shared by the serial driver and the registry
+// sweep.
+var (
+	Fig12Sizes = []int{64, 128, 256, 1024, 4096, 8192}
+	Fig12Modes = []handshake.Mode{
+		handshake.Init0RTT, handshake.Init0RTTFS, handshake.Init1RTT,
+		handshake.Rsmp, handshake.RsmpFS,
+	}
+)
 
 // Fig12Row is one (mode, size) point: virtual time from cold start to
 // the first RPC response under that key-exchange variant.
@@ -64,13 +72,9 @@ func MeasureKeyExchange(mode handshake.Mode, size int, seed int64) Fig12Row {
 // Fig12 reproduces Figure 12: key-exchange + first-RPC latency for the
 // five variants across RPC sizes.
 func Fig12() []Fig12Row {
-	modes := []handshake.Mode{
-		handshake.Init0RTT, handshake.Init0RTTFS, handshake.Init1RTT,
-		handshake.Rsmp, handshake.RsmpFS,
-	}
 	var rows []Fig12Row
 	for _, size := range Fig12Sizes {
-		for _, m := range modes {
+		for _, m := range Fig12Modes {
 			rows = append(rows, MeasureKeyExchange(m, size, 5000))
 		}
 	}

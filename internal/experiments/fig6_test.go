@@ -17,23 +17,23 @@ func rttOf(rows []RTTRow, system string, size int) float64 {
 	panic(fmt.Sprintf("missing row %s/%d", system, size))
 }
 
-// TestFig6Shape verifies the paper's §5.1 relationships on a reduced size
+// testFig6Shape verifies the paper's §5.1 relationships on a reduced size
 // grid (full grid in the benchmark):
 //   - SMT beats kTLS by 13–32 % (hw) and 10–35 % (sw),
 //   - Homa beats TCP by 5–35 %,
 //   - the Homa-vs-TCP margin is smallest at 64 KB,
 //   - hardware offload gains at most ~7 % unloaded.
-func TestFig6Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
+//
+// Runs under TestExperiments; the (size, system) cells are independent
+// worlds, so they fan out across the worker pool.
+func testFig6Shape(t *testing.T) {
 	sizes := []int{64, 1024, 8192, 65536}
-	var rows []RTTRow
-	for _, size := range sizes {
-		for _, sys := range Fig6Systems() {
-			rows = append(rows, MeasureRTT(sys, size, 0, false, 7))
-		}
-	}
+	nsys := len(Fig6Systems())
+	rows := make([]RTTRow, len(sizes)*nsys)
+	ForEach(len(rows), 0, func(i int) {
+		size := sizes[i/nsys]
+		rows[i] = MeasureRTT(Fig6Systems()[i%nsys], size, 0, false, 7)
+	})
 	for _, r := range rows {
 		t.Logf("%-8s %6dB mean=%v n=%d", r.System, r.Size, r.MeanRTT, r.N)
 	}

@@ -6,10 +6,15 @@ import (
 	"smt/internal/sim"
 )
 
-// Fig7Concurrency and Fig7Sizes are the §5.2 sweep parameters.
+// Fig7Concurrency and Fig7Sizes are the §5.2 sweep parameters;
+// Fig7MTUConcurrency and Fig7MTUs are the jumbo-MTU paragraph's grid.
+// The registry sweeps (register.go) share these vars with the serial
+// drivers below, so the two stay in lockstep.
 var (
-	Fig7Concurrency = []int{50, 100, 150, 200}
-	Fig7Sizes       = []int{64, 1024, 8192}
+	Fig7Concurrency    = []int{50, 100, 150, 200}
+	Fig7Sizes          = []int{64, 1024, 8192}
+	Fig7MTUConcurrency = []int{50, 100, 150}
+	Fig7MTUs           = []int{1500, 9000}
 )
 
 // TputRow is one (system, size, concurrency) throughput point.
@@ -90,8 +95,8 @@ func Fig7() []TputRow {
 // single packet.
 func Fig7JumboMTU() []TputRow {
 	var rows []TputRow
-	for _, c := range []int{50, 100, 150} {
-		for _, mtu := range []int{1500, 9000} {
+	for _, c := range Fig7MTUConcurrency {
+		for _, mtu := range Fig7MTUs {
 			for _, sys := range []System{smtSystem(false), smtSystem(true)} {
 				r := MeasureThroughput(sys, 8192, c, mtu, 0, 2000+int64(c))
 				if mtu == 9000 {
@@ -104,18 +109,29 @@ func Fig7JumboMTU() []TputRow {
 	return rows
 }
 
-// CPUUsage reproduces the §5.2 CPU-usage comparison: 1 KB RPCs with all
-// systems rate-capped to the same request rate, reporting busy fractions.
-// The paper uses 1.2 M req/s; per-stream spacing realizes the cap.
-func CPUUsage(targetRate float64) []TputRow {
-	const streams = 150
-	spacing := sim.Time(float64(streams) / targetRate * 1e9)
-	var rows []TputRow
-	for _, sys := range []System{
+// CPUUsageSystems is the §5.2 fixed-rate comparison lineup.
+func CPUUsageSystems() []System {
+	return []System{
 		ktlsSystem(ktls.ModeKTLSSW), ktlsSystem(ktls.ModeKTLSHW),
 		smtSystem(false), smtSystem(true),
-	} {
-		rows = append(rows, MeasureThroughput(sys, 1024, streams, 0, spacing, 77))
+	}
+}
+
+// MeasureCPUUsage runs one system of the §5.2 CPU-usage comparison:
+// 1 KB RPCs rate-capped to targetRate req/s via per-stream spacing,
+// reporting busy fractions.
+func MeasureCPUUsage(sys System, targetRate float64) TputRow {
+	const streams = 150
+	spacing := sim.Time(float64(streams) / targetRate * 1e9)
+	return MeasureThroughput(sys, 1024, streams, 0, spacing, 77)
+}
+
+// CPUUsage reproduces the §5.2 CPU-usage comparison across the lineup.
+// The paper uses 1.2 M req/s.
+func CPUUsage(targetRate float64) []TputRow {
+	var rows []TputRow
+	for _, sys := range CPUUsageSystems() {
+		rows = append(rows, MeasureCPUUsage(sys, targetRate))
 	}
 	return rows
 }

@@ -13,24 +13,23 @@ func tputOf(rows []TputRow, system string, size, conc int) float64 {
 	panic("missing row " + system)
 }
 
-// TestFig7Shape verifies the §5.2 relationships at one representative
+// testFig7Shape verifies the §5.2 relationships at one representative
 // concurrency (the full sweep runs in the benchmark):
 //   - 64 B: SMT beats kTLS by 16–40 %,
 //   - 1 KB: by 17–41 % (hw) / 16–39 % (sw),
 //   - 8 KB: SMT *loses* to kTLS by 3–15 %,
 //   - HW gain largest at 1 KB (5–11 %),
 //   - Homa/SMT softirq-bound near 0.7 M RPC/s at 8 KB.
-func TestFig7Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
+//
+// Runs under TestExperiments with the cells fanned out in parallel.
+func testFig7Shape(t *testing.T) {
 	const conc = 150
-	var rows []TputRow
-	for _, size := range Fig7Sizes {
-		for _, sys := range Fig6Systems() {
-			rows = append(rows, MeasureThroughput(sys, size, conc, 0, 0, 9))
-		}
-	}
+	nsys := len(Fig6Systems())
+	rows := make([]TputRow, len(Fig7Sizes)*nsys)
+	ForEach(len(rows), 0, func(i int) {
+		size := Fig7Sizes[i/nsys]
+		rows[i] = MeasureThroughput(Fig6Systems()[i%nsys], size, conc, 0, 0, 9)
+	})
 	for _, r := range rows {
 		t.Logf("%-8s %6dB c=%d: %.3f M RPC/s (lat %.1fµs, cpu cli %.2f srv %.2f)",
 			r.System, r.Size, r.Concurrency, r.RPCsPerSec/1e6, r.MeanLatUs, r.ClientCPU, r.ServerCPU)

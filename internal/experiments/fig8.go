@@ -22,6 +22,15 @@ type Fig8Row struct {
 // fig8Keys is the database size for the YCSB runs.
 const fig8Keys = 10000
 
+// Fig8Values and Fig8Workloads are the Figure 8 sweep grid, shared by
+// the serial driver and the registry sweep.
+var (
+	Fig8Values    = []int{64, 1024, 4096}
+	Fig8Workloads = []ycsb.Workload{
+		ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC, ycsb.WorkloadD, ycsb.WorkloadE,
+	}
+)
+
 // redisSystem wires a kvstore server behind a transport. The server is
 // single-threaded (app thread 0 on the server host), exactly like Redis:
 // all request parsing, DB work, response building and the send-path
@@ -242,8 +251,8 @@ func MeasureRedis(sys redisSystem, w8 ycsb.Workload, valueSize, streams int, see
 // Fig8 reproduces Figure 8: YCSB A–E × value sizes 64 B / 1 KB / 4 KB.
 func Fig8() []Fig8Row {
 	var rows []Fig8Row
-	for _, v := range []int{64, 1024, 4096} {
-		for _, wl := range []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC, ycsb.WorkloadD, ycsb.WorkloadE} {
+	for _, v := range Fig8Values {
+		for _, wl := range Fig8Workloads {
 			for _, sys := range Fig8Systems() {
 				rows = append(rows, MeasureRedis(sys, wl, v, 64, 333))
 			}

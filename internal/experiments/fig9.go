@@ -7,6 +7,10 @@ import (
 	"smt/internal/stats"
 )
 
+// Fig9Depths is the Figure 9 iodepth grid, shared by the serial driver
+// and the registry sweep.
+var Fig9Depths = []int{1, 2, 4, 6, 8}
+
 // Fig9Row is one (system, iodepth) NVMe-oF latency point.
 type Fig9Row struct {
 	System  string
@@ -76,7 +80,7 @@ func MeasureNVMeoF(sys System, iodepth int, seed int64) Fig9Row {
 // for the six systems.
 func Fig9() []Fig9Row {
 	var rows []Fig9Row
-	for _, d := range []int{1, 2, 4, 6, 8} {
+	for _, d := range Fig9Depths {
 		for _, sys := range Fig6Systems() {
 			rows = append(rows, MeasureNVMeoF(sys, d, 444))
 		}

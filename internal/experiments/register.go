@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"smt/internal/handshake"
+)
+
+// This file registers every table/figure of the evaluation in the
+// experiment registry. Each sweep is decomposed into one point per
+// independent (configuration, seed) cell; a point constructs its own
+// systems and World inside its Run closure, so no state is shared
+// between points and any subset may run concurrently.
+//
+// The per-figure seeds and grids mirror the original serial drivers
+// (Fig6(), Fig7(), ... in fig*.go), so registry results reproduce the
+// exact numbers those functions produce.
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func init() {
+	register("fig6", "unloaded RTT across RPC sizes for TCP, kTLS-sw/hw, Homa, SMT-sw/hw (§5.1)", func() []pointSpec {
+		var specs []pointSpec
+		names := systemNames()
+		for _, size := range Fig6Sizes {
+			for si, name := range names {
+				specs = append(specs, pointSpec{
+					Key:    fmt.Sprintf("sys=%s/size=%d", name, size),
+					Seed:   42,
+					Labels: Labels{"system": name, "size": itoa(size)},
+					Run: func() Values {
+						r := MeasureRTT(Fig6Systems()[si], size, 0, false, 42)
+						return Values{
+							"mean_rtt_ns": float64(r.MeanRTT),
+							"p50_rtt_ns":  float64(r.P50RTT),
+							"n":           float64(r.N),
+						}
+					},
+				})
+			}
+		}
+		return specs
+	})
+
+	register("fig7", "throughput over concurrency for 64B/1KB/8KB RPCs across the six systems (§5.2)", func() []pointSpec {
+		var specs []pointSpec
+		names := systemNames()
+		for _, size := range Fig7Sizes {
+			for _, c := range Fig7Concurrency {
+				for si, name := range names {
+					specs = append(specs, pointSpec{
+						Key:    fmt.Sprintf("sys=%s/size=%d/conc=%d", name, size, c),
+						Seed:   1000 + int64(c),
+						Labels: Labels{"system": name, "size": itoa(size), "concurrency": itoa(c)},
+						Run: func() Values {
+							r := MeasureThroughput(Fig6Systems()[si], size, c, 0, 0, 1000+int64(c))
+							return tputValues(r)
+						},
+					})
+				}
+			}
+		}
+		return specs
+	})
+
+	register("fig7mtu", "8KB RPC throughput with 1.5K vs 9K MTU for SMT-sw/hw (§5.2 jumbo-MTU paragraph)", func() []pointSpec {
+		var specs []pointSpec
+		for _, c := range Fig7MTUConcurrency {
+			for _, mtu := range Fig7MTUs {
+				for _, hw := range []bool{false, true} {
+					name := smtSystem(hw).Name
+					if mtu == 9000 {
+						name += "+9K"
+					}
+					specs = append(specs, pointSpec{
+						Key:    fmt.Sprintf("sys=%s/mtu=%d/conc=%d", name, mtu, c),
+						Seed:   2000 + int64(c),
+						Labels: Labels{"system": name, "mtu": itoa(mtu), "concurrency": itoa(c)},
+						Run: func() Values {
+							r := MeasureThroughput(smtSystem(hw), 8192, c, mtu, 0, 2000+int64(c))
+							return tputValues(r)
+						},
+					})
+				}
+			}
+		}
+		return specs
+	})
+
+	register("cpuusage", "CPU busy fractions at a fixed 1.2M req/s rate for kTLS and SMT (§5.2)", func() []pointSpec {
+		var specs []pointSpec
+		lineup := CPUUsageSystems()
+		for i := range lineup {
+			name := lineup[i].Name
+			specs = append(specs, pointSpec{
+				Key:    "sys=" + name,
+				Seed:   77,
+				Labels: Labels{"system": name, "target_rate": "1.2e6"},
+				Run: func() Values {
+					r := MeasureCPUUsage(CPUUsageSystems()[i], 1.2e6)
+					return tputValues(r)
+				},
+			})
+		}
+		return specs
+	})
+
+	register("fig8", "Redis-style YCSB A-E throughput over value sizes across seven systems (§5.3)", func() []pointSpec {
+		var specs []pointSpec
+		var names []string
+		for _, s := range Fig8Systems() {
+			names = append(names, s.name)
+		}
+		for _, v := range Fig8Values {
+			for _, wl := range Fig8Workloads {
+				for si, name := range names {
+					specs = append(specs, pointSpec{
+						Key:    fmt.Sprintf("sys=%s/wl=%s/value=%d", name, wl, v),
+						Seed:   333,
+						Labels: Labels{"system": name, "workload": wl.String(), "value": itoa(v)},
+						Run: func() Values {
+							r := MeasureRedis(Fig8Systems()[si], wl, v, 64, 333)
+							return Values{"ops_per_sec": r.OpsPerSec}
+						},
+					})
+				}
+			}
+		}
+		return specs
+	})
+
+	register("fig9", "NVMe-oF 4KB random-read P50/P99 latency over iodepth for the six systems (§5.4)", func() []pointSpec {
+		var specs []pointSpec
+		names := systemNames()
+		for _, d := range Fig9Depths {
+			for si, name := range names {
+				specs = append(specs, pointSpec{
+					Key:    fmt.Sprintf("sys=%s/iodepth=%d", name, d),
+					Seed:   444,
+					Labels: Labels{"system": name, "iodepth": itoa(d)},
+					Run: func() Values {
+						r := MeasureNVMeoF(Fig6Systems()[si], d, 444)
+						return Values{"p50_us": r.P50Us, "p99_us": r.P99Us, "iops": r.IOPS}
+					},
+				})
+			}
+		}
+		return specs
+	})
+
+	register("fig10", "unloaded RTT of TCPLS vs SMT-sw/hw (§5.5)", func() []pointSpec {
+		var specs []pointSpec
+		mk := []func() System{tcplsSystem, func() System { return smtSystem(false) }, func() System { return smtSystem(true) }}
+		for _, size := range Fig10Sizes {
+			for i := range mk {
+				name := mk[i]().Name
+				specs = append(specs, pointSpec{
+					Key:    fmt.Sprintf("sys=%s/size=%d", name, size),
+					Seed:   77,
+					Labels: Labels{"system": name, "size": itoa(size)},
+					Run: func() Values {
+						r := MeasureRTT(mk[i](), size, 0, false, 77)
+						return Values{"mean_rtt_ns": float64(r.MeanRTT), "p50_rtt_ns": float64(r.P50RTT), "n": float64(r.N)}
+					},
+				})
+			}
+		}
+		return specs
+	})
+
+	register("fig11", "SMT-hw RTT with TSO vs software segmentation (§5.5)", func() []pointSpec {
+		var specs []pointSpec
+		for _, size := range Fig11Sizes {
+			for _, noTSO := range []bool{false, true} {
+				name := "SMT-HW-TSO"
+				if noTSO {
+					name = "SMT-HW-w/o-TSO"
+				}
+				specs = append(specs, pointSpec{
+					Key:    fmt.Sprintf("sys=%s/size=%d", name, size),
+					Seed:   88,
+					Labels: Labels{"system": name, "size": itoa(size), "tso": fmt.Sprint(!noTSO)},
+					Run: func() Values {
+						r := MeasureRTT(smtSystem(true), size, 0, noTSO, 88)
+						return Values{"mean_rtt_ns": float64(r.MeanRTT), "p50_rtt_ns": float64(r.P50RTT), "n": float64(r.N)}
+					},
+				})
+			}
+		}
+		return specs
+	})
+
+	register("fig12", "key-exchange + first-RPC latency for the five handshake variants (§5.6)", func() []pointSpec {
+		var specs []pointSpec
+		for _, size := range Fig12Sizes {
+			for _, m := range Fig12Modes {
+				specs = append(specs, pointSpec{
+					Key:    fmt.Sprintf("mode=%s/size=%d", m, size),
+					Seed:   5000,
+					Labels: Labels{"mode": m.String(), "size": itoa(size)},
+					Run: func() Values {
+						r := MeasureKeyExchange(m, size, 5000)
+						return Values{"time_us": r.TimeUs}
+					},
+				})
+			}
+		}
+		return specs
+	})
+
+	register("fig2", "autonomous-offload resync semantics: in-seq, out-of-seq, resync-repaired (§3.2)", func() []pointSpec {
+		var specs []pointSpec
+		for i := range fig2Scenarios {
+			name := fig2Scenarios[i].name
+			specs = append(specs, pointSpec{
+				Key:    name,
+				Seed:   1,
+				Labels: Labels{"scenario": name},
+				Run: func() Values {
+					r := Fig2Scenario(i)
+					dec := 0.0
+					if r.Decrypted {
+						dec = 1
+					}
+					return Values{
+						"decrypted": dec,
+						"corrupted": float64(r.Corrupted),
+						"resyncs":   float64(r.Resyncs),
+					}
+				},
+			})
+		}
+		return specs
+	})
+
+	register("fig5", "composite sequence-number bit-allocation trade-off matrix (§4.4.1)", func() []pointSpec {
+		rows := Fig5()
+		var specs []pointSpec
+		for i := range rows {
+			r := rows[i]
+			specs = append(specs, pointSpec{
+				Key:    fmt.Sprintf("size_bits=%d", r.SizeBits),
+				Labels: Labels{"size_bits": itoa(r.SizeBits), "id_bits": itoa(r.IDBits)},
+				Run: func() Values {
+					return Values{
+						"size_bits":           float64(r.SizeBits),
+						"id_bits":             float64(r.IDBits),
+						"max_messages":        r.MaxMessages,
+						"max_msg_size_mb":     r.MaxMsgSizeMB,
+						"max_msg_size_16k_mb": r.MaxMsgSize16KB,
+					}
+				},
+			})
+		}
+		return specs
+	})
+
+	register("table1", "design-space property matrix of transport-encryption systems (§2)", func() []pointSpec {
+		rows := Table1()
+		var specs []pointSpec
+		for i := range rows {
+			specs = append(specs, pointSpec{
+				Key: "sys=" + rows[i].System,
+				Run: func() Values {
+					return nil
+				},
+				Labels: Labels{
+					"system":      rows[i].System,
+					"encryption":  rows[i].Encryption,
+					"abstraction": rows[i].Abstraction,
+					"offload":     rows[i].Offload,
+					"protocol":    rows[i].Protocol,
+					"parallelism": rows[i].Parallelism,
+				},
+			})
+		}
+		return specs
+	})
+
+	register("table2", "per-operation handshake cost breakdown with real crypto on this machine (§5.6)", func() []pointSpec {
+		// One point: the rows share key material and are measured
+		// together; values are wall-clock and so machine-dependent.
+		return []pointSpec{{
+			Key: "all-ops",
+			Run: func() Values {
+				vals := Values{}
+				for _, r := range handshake.MeasureTable2() {
+					vals["paper_us/"+r.Name] = r.PaperUs
+					vals["measured_us/"+r.Name] = r.MeasuredUs
+					if r.PaperRSAUs > 0 {
+						vals["paper_rsa_us/"+r.Name] = r.PaperRSAUs
+						vals["measured_rsa_us/"+r.Name] = r.MeasRSAUs
+					}
+				}
+				return vals
+			},
+		}}
+	})
+}
+
+// systemNames returns the Fig6Systems lineup's names without building
+// world state.
+func systemNames() []string {
+	var names []string
+	for _, s := range Fig6Systems() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// tputValues flattens a throughput row into registry values.
+func tputValues(r TputRow) Values {
+	return Values{
+		"rpcs_per_sec": r.RPCsPerSec,
+		"mean_lat_us":  r.MeanLatUs,
+		"client_cpu":   r.ClientCPU,
+		"server_cpu":   r.ServerCPU,
+	}
+}

@@ -57,10 +57,20 @@ type Fig2Row struct {
 	Resyncs   uint64
 }
 
-// Fig2 demonstrates Figure 2 on the NIC model: in-sequence segments
-// encrypt correctly; an out-of-sequence segment is corrupted; a resync
-// descriptor repairs the counter.
-func Fig2() []Fig2Row {
+// fig2Scenarios is the Figure 2 scenario grid, shared by the serial
+// driver and the registry sweep.
+var fig2Scenarios = []struct {
+	name   string
+	seq    uint64
+	resync bool
+}{
+	{"In-seq (S1,S2)", 2, false},
+	{"Out-seq (S1,S3)", 3, false},
+	{"Out-resync (S1,R3,S3)", 3, true},
+}
+
+// Fig2Scenario runs one Figure 2 scenario by index.
+func Fig2Scenario(i int) Fig2Row {
 	run := func(name string, seq uint64, resync bool) Fig2Row {
 		eng := sim.NewEngine(1)
 		cm := cost.Default()
@@ -96,11 +106,19 @@ func Fig2() []Fig2Row {
 			Resyncs:   nic.Stats.Resyncs,
 		}
 	}
-	return []Fig2Row{
-		run("In-seq (S1,S2)", 2, false),
-		run("Out-seq (S1,S3)", 3, false),
-		run("Out-resync (S1,R3,S3)", 3, true),
+	s := fig2Scenarios[i]
+	return run(s.name, s.seq, s.resync)
+}
+
+// Fig2 demonstrates Figure 2 on the NIC model: in-sequence segments
+// encrypt correctly; an out-of-sequence segment is corrupted; a resync
+// descriptor repairs the counter.
+func Fig2() []Fig2Row {
+	rows := make([]Fig2Row, len(fig2Scenarios))
+	for i := range fig2Scenarios {
+		rows[i] = Fig2Scenario(i)
 	}
+	return rows
 }
 
 // --- Figure 5 / Table 1 ---

@@ -1,7 +1,23 @@
-// Package experiments contains one runner per table/figure of the
-// paper's evaluation (§5), wired from the simulated substrate. Each
-// runner returns plain row structs that cmd/smtbench renders and
-// EXPERIMENTS.md records against the paper's numbers.
+// Package experiments reproduces the paper's evaluation (§5) on the
+// simulated substrate, organized around a named experiment registry.
+//
+// Every table/figure registers itself (register.go) as an Experiment —
+// a named sweep decomposed into independent Points, where one Point is
+// one (configuration, seed) cell that builds its own World. The
+// parallel runner (runner.go) fans any subset of points out across a
+// bounded worker pool with deterministic, canonically ordered results
+// and per-point wall-clock timing; artifact.go serializes a run to the
+// machine-readable JSON consumed by the BENCH_*.json trajectory.
+//
+// Three layers of access, outermost first:
+//
+//   - cmd/smtexp: list/run experiments by name, JSON artifacts.
+//   - Registry API: Lookup/Names/All, Run/RunPoints/RunNamed.
+//   - Typed measurement functions (MeasureRTT, MeasureThroughput,
+//     MeasureRedis, ...) and serial drivers (Fig6(), Fig7(), ...) that
+//     return plain row structs, used by cmd/smtbench and the shape
+//     tests; the registry wraps exactly these, so both paths produce
+//     identical numbers.
 package experiments
 
 import (
