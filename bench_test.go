@@ -166,6 +166,34 @@ func BenchmarkFig12KeyExchange(b *testing.B) {
 	}
 }
 
+// BenchmarkIncast regenerates the fabric incast experiment at the
+// 3-client acceptance point (full sweep via cmd/smtbench incast).
+func BenchmarkIncast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sys := range experiments.FabricSystems() {
+			r := experiments.MeasureIncast(sys, 3, 65536, 9003)
+			if i == 0 {
+				b.Logf("%-8s clients=3 64KB: p99=%.0fµs goodput=%.1fGbps drops=%d",
+					r.System, r.P99LatUs, r.GoodputGbps, r.SwitchDrops)
+			}
+		}
+	}
+}
+
+// BenchmarkMulticlient regenerates the fabric scaling experiment at
+// 4 client hosts (full sweep via cmd/smtbench multiclient).
+func BenchmarkMulticlient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sys := range experiments.FabricSystems() {
+			r := experiments.MeasureMulticlient(sys, 4, 8004)
+			if i == 0 {
+				b.Logf("%-8s clients=4: %.2fM RPC/s aggregate, server CPU %.0f%%",
+					r.System, r.RPCsPerSec/1e6, r.ServerCPU*100)
+			}
+		}
+	}
+}
+
 // BenchmarkCPUUsage regenerates the §5.2 fixed-rate CPU comparison.
 func BenchmarkCPUUsage(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,7 +1,8 @@
 // Command smtbench regenerates every table and figure of the paper's
 // evaluation from the simulated testbed as formatted, human-readable
 // tables. Run with a subcommand (table1, table2, fig2, fig5, fig6,
-// fig7, fig7mtu, cpuusage, fig8, fig9, fig10, fig11, fig12) or `all`.
+// fig7, fig7mtu, cpuusage, fig8, fig9, fig10, fig11, fig12, incast,
+// multiclient) or `all`.
 //
 // It runs the typed serial drivers directly; for parallel sweeps and
 // machine-readable JSON artifacts use cmd/smtexp, which runs the same
@@ -100,6 +101,18 @@ func main() {
 	run("fig12", func() {
 		for _, r := range experiments.Fig12() {
 			fmt.Printf("%-10s %6dB %.0fµs\n", r.Mode, r.Size, r.TimeUs)
+		}
+	})
+	run("incast", func() {
+		for _, r := range experiments.Incast() {
+			fmt.Printf("%-8s M=%d %6dB p50=%8.1fµs p99=%10.1fµs goodput=%6.2fGbps drops=%d\n",
+				r.System, r.Clients, r.Size, r.P50LatUs, r.P99LatUs, r.GoodputGbps, r.SwitchDrops)
+		}
+	})
+	run("multiclient", func() {
+		for _, r := range experiments.Multiclient() {
+			fmt.Printf("%-8s M=%d %.3fM RPC/s (%.0f/client) lat=%6.1fµs srvCPU=%.0f%%\n",
+				r.System, r.Clients, r.RPCsPerSec/1e6, r.PerClientRPCs, r.MeanLatUs, r.ServerCPU*100)
 		}
 	})
 }

@@ -53,9 +53,9 @@ func main() {
 }
 
 func listExperiments() {
-	fmt.Printf("%-10s %6s  %s\n", "NAME", "POINTS", "DESCRIPTION")
+	fmt.Printf("%-12s %6s  %s\n", "NAME", "POINTS", "DESCRIPTION")
 	for _, e := range experiments.All() {
-		fmt.Printf("%-10s %6d  %s\n", e.Name(), len(e.Points()), e.Describe())
+		fmt.Printf("%-12s %6d  %s\n", e.Name(), len(e.Points()), e.Describe())
 	}
 }
 

@@ -238,6 +238,12 @@ func (c *Codec) Decode(msgID uint64, msgLen, off int, seg []byte) ([]byte, sim.T
 		pos    int
 		recIdx = uint64(off / RecSpan)
 	)
+	// The transport validates segment geometry against the registered
+	// message, but Decode is also the public codec API: inconsistent
+	// coordinates must error, not panic.
+	if msgLen <= 0 || off < 0 || off >= msgLen {
+		return nil, cpu, fmt.Errorf("core: segment offset %d outside message of %d bytes", off, msgLen)
+	}
 	n := msgLen - off
 	if n > homa.DefaultSegSpan {
 		n = homa.DefaultSegSpan

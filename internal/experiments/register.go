@@ -209,6 +209,55 @@ func init() {
 		return specs
 	})
 
+	register("incast", "M-client incast onto one switch port: tail latency and goodput collapse across the six systems", func() []pointSpec {
+		var specs []pointSpec
+		names := systemNames()
+		for _, m := range IncastClients {
+			for _, size := range IncastSizes {
+				for si, name := range names {
+					m, size := m, size
+					specs = append(specs, pointSpec{
+						Key:    fmt.Sprintf("sys=%s/clients=%d/size=%d", name, m, size),
+						Seed:   9000 + int64(m),
+						Labels: Labels{"system": name, "clients": itoa(m), "size": itoa(size)},
+						Run: func() Values {
+							r := MeasureIncast(FabricSystems()[si], m, size, 9000+int64(m))
+							return incastValues(r)
+						},
+					})
+				}
+			}
+		}
+		return specs
+	})
+
+	register("multiclient", "aggregate throughput scaling as client hosts are added, across the six systems", func() []pointSpec {
+		var specs []pointSpec
+		names := systemNames()
+		for _, m := range MulticlientCounts {
+			for si, name := range names {
+				m := m
+				specs = append(specs, pointSpec{
+					Key:    fmt.Sprintf("sys=%s/clients=%d", name, m),
+					Seed:   8000 + int64(m),
+					Labels: Labels{"system": name, "clients": itoa(m)},
+					Run: func() Values {
+						r := MeasureMulticlient(FabricSystems()[si], m, 8000+int64(m))
+						return Values{
+							"rpcs_per_sec":    r.RPCsPerSec,
+							"per_client_rpcs": r.PerClientRPCs,
+							"mean_lat_us":     r.MeanLatUs,
+							"p99_lat_us":      r.P99LatUs,
+							"server_cpu":      r.ServerCPU,
+							"n":               float64(r.N),
+						}
+					},
+				})
+			}
+		}
+		return specs
+	})
+
 	register("fig2", "autonomous-offload resync semantics: in-seq, out-of-seq, resync-repaired (§3.2)", func() []pointSpec {
 		var specs []pointSpec
 		for i := range fig2Scenarios {
@@ -316,5 +365,18 @@ func tputValues(r TputRow) Values {
 		"mean_lat_us":  r.MeanLatUs,
 		"client_cpu":   r.ClientCPU,
 		"server_cpu":   r.ServerCPU,
+	}
+}
+
+// incastValues flattens an incast row into registry values.
+func incastValues(r IncastRow) Values {
+	return Values{
+		"rpcs_per_sec": r.RPCsPerSec,
+		"goodput_gbps": r.GoodputGbps,
+		"mean_lat_us":  r.MeanLatUs,
+		"p50_lat_us":   r.P50LatUs,
+		"p99_lat_us":   r.P99LatUs,
+		"switch_drops": float64(r.SwitchDrops),
+		"n":            float64(r.N),
 	}
 }

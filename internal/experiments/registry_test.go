@@ -8,7 +8,8 @@ import (
 // expectedExperiments is the full catalogue every build must register.
 var expectedExperiments = []string{
 	"cpuusage", "fig10", "fig11", "fig12", "fig2", "fig5",
-	"fig6", "fig7", "fig7mtu", "fig8", "fig9", "table1", "table2",
+	"fig6", "fig7", "fig7mtu", "fig8", "fig9", "incast",
+	"multiclient", "table1", "table2",
 }
 
 func TestRegistryCatalogue(t *testing.T) {
@@ -92,19 +93,21 @@ func TestRegistryPoints(t *testing.T) {
 // grid without the registry following along fails fast.
 func TestRegistryPointCounts(t *testing.T) {
 	want := map[string]int{
-		"fig6":     len(Fig6Sizes) * len(Fig6Systems()),
-		"fig7":     len(Fig7Sizes) * len(Fig7Concurrency) * len(Fig6Systems()),
-		"fig7mtu":  len(Fig7MTUConcurrency) * len(Fig7MTUs) * 2,
-		"cpuusage": len(CPUUsageSystems()),
-		"fig8":     len(Fig8Values) * len(Fig8Workloads) * len(Fig8Systems()),
-		"fig9":     len(Fig9Depths) * len(Fig6Systems()),
-		"fig10":    len(Fig10Sizes) * 3,
-		"fig11":    len(Fig11Sizes) * 2,
-		"fig12":    len(Fig12Sizes) * len(Fig12Modes),
-		"fig2":     len(fig2Scenarios),
-		"fig5":     len(Fig5()),
-		"table1":   len(Table1()),
-		"table2":   1,
+		"fig6":        len(Fig6Sizes) * len(Fig6Systems()),
+		"fig7":        len(Fig7Sizes) * len(Fig7Concurrency) * len(Fig6Systems()),
+		"fig7mtu":     len(Fig7MTUConcurrency) * len(Fig7MTUs) * 2,
+		"cpuusage":    len(CPUUsageSystems()),
+		"fig8":        len(Fig8Values) * len(Fig8Workloads) * len(Fig8Systems()),
+		"fig9":        len(Fig9Depths) * len(Fig6Systems()),
+		"fig10":       len(Fig10Sizes) * 3,
+		"fig11":       len(Fig11Sizes) * 2,
+		"fig12":       len(Fig12Sizes) * len(Fig12Modes),
+		"fig2":        len(fig2Scenarios),
+		"fig5":        len(Fig5()),
+		"table1":      len(Table1()),
+		"table2":      1,
+		"incast":      len(IncastClients) * len(IncastSizes) * len(FabricSystems()),
+		"multiclient": len(MulticlientCounts) * len(FabricSystems()),
 	}
 	for name, n := range want {
 		e, ok := Lookup(name)

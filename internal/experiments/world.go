@@ -14,10 +14,17 @@
 //   - cmd/smtexp: list/run experiments by name, JSON artifacts.
 //   - Registry API: Lookup/Names/All, Run/RunPoints/RunNamed.
 //   - Typed measurement functions (MeasureRTT, MeasureThroughput,
-//     MeasureRedis, ...) and serial drivers (Fig6(), Fig7(), ...) that
-//     return plain row structs, used by cmd/smtbench and the shape
-//     tests; the registry wraps exactly these, so both paths produce
-//     identical numbers.
+//     MeasureRedis, MeasureIncast, ...) and serial drivers (Fig6(),
+//     Fig7(), Incast(), ...) that return plain row structs, used by
+//     cmd/smtbench and the shape tests; the registry wraps exactly
+//     these, so both paths produce identical numbers.
+//
+// Worlds come in two shapes. NewWorld builds the paper's two-host
+// back-to-back testbed; NewFabricWorld builds an N-host fabric from a
+// netsim.Topology (hosts behind an output-queued switch), which the
+// incast and multiclient experiments use. The two-host world is exactly
+// the N=2 switchless fabric, so every §5 experiment runs unchanged on
+// the generalized substrate.
 package experiments
 
 import (
@@ -34,8 +41,9 @@ import (
 	"smt/internal/wire"
 )
 
-// Testbed constants from §5: two hosts, one NUMA node each, 12 app
-// threads + 4 stack (softirq) threads per side, 100 GbE back-to-back.
+// Testbed constants from §5: one NUMA node per host, 12 app threads + 4
+// stack (softirq) threads per side, 100 GbE links. The client/server
+// addresses follow the wire.HostAddr convention (host i at address i+1).
 const (
 	ClientAddr  = 1
 	ServerAddr  = 2
@@ -45,25 +53,51 @@ const (
 	serverPortK = 7443 // TCP-family server port
 )
 
-// World is one two-host testbed instance.
+// World is one testbed instance: N hosts on a shared fabric. Hosts[0]
+// and Hosts[1] carry the Client/Server aliases of the two-host figures;
+// fabric experiments treat Hosts[1] as the server and every other host
+// as a client (so the 1-client fabric is literally the two-host world).
 type World struct {
-	Eng    *sim.Engine
-	Net    *netsim.Network
-	CM     *cost.Model
-	Client *cpusim.Host
-	Server *cpusim.Host
+	Eng  *sim.Engine
+	Net  *netsim.Network
+	CM   *cost.Model
+	Topo netsim.Topology
+
+	Hosts  []*cpusim.Host
+	Client *cpusim.Host // Hosts[0]
+	Server *cpusim.Host // Hosts[1]
 }
 
-// NewWorld builds a fresh testbed with a deterministic seed.
+// NewWorld builds a fresh two-host back-to-back testbed (the paper's §5
+// configuration) with a deterministic seed.
 func NewWorld(seed int64) *World {
+	return NewFabricWorld(seed, netsim.Topology{Hosts: 2})
+}
+
+// NewFabricWorld builds a testbed of topo.Hosts hosts wired by topo
+// (ideal back-to-back links, or an output-queued switch when topo.Switch
+// is set). Host i sits at wire.HostAddr(i) with the standard core
+// counts.
+func NewFabricWorld(seed int64, topo netsim.Topology) *World {
 	eng := sim.NewEngine(seed)
 	cm := cost.Default()
-	net := netsim.New(eng, cm)
-	return &World{
-		Eng: eng, Net: net, CM: cm,
-		Client: cpusim.NewHost(eng, cm, net, ClientAddr, StackCores, AppThreads),
-		Server: cpusim.NewHost(eng, cm, net, ServerAddr, StackCores, AppThreads),
+	net := topo.Build(eng, cm)
+	w := &World{Eng: eng, Net: net, CM: cm, Topo: topo}
+	for i := 0; i < topo.Hosts; i++ {
+		w.Hosts = append(w.Hosts, cpusim.NewHost(eng, cm, net, wire.HostAddr(i), StackCores, AppThreads))
 	}
+	w.Client, w.Server = w.Hosts[0], w.Hosts[1]
+	return w
+}
+
+// ClientHosts returns the fabric clients: every host except the server
+// (Hosts[1]), ordered Hosts[0], Hosts[2], Hosts[3], ... so that the
+// one-client fabric uses exactly the two-host world's client.
+func (w *World) ClientHosts() []*cpusim.Host {
+	clients := make([]*cpusim.Host, 0, len(w.Hosts)-1)
+	clients = append(clients, w.Hosts[0])
+	clients = append(clients, w.Hosts[2:]...)
+	return clients
 }
 
 // System is one line in the evaluation figures: a name plus a setup
@@ -78,86 +112,141 @@ type System struct {
 	Setup func(w *World, streams, mtu int, noTSO bool, done func(reqID uint64)) (issue func(stream int, reqID uint64, size, respSize int))
 }
 
+// FabricConfig parameterizes a FabricSystem's wiring.
+type FabricConfig struct {
+	// StreamsPerClient is the number of concurrent RPC streams each
+	// client host drives.
+	StreamsPerClient int
+	// MTU is the wire MTU (0 = DefaultMTU).
+	MTU int
+	// NoTSO makes the stack cut packets in software (Fig. 11 ablation).
+	NoTSO bool
+}
+
+// FabricSystem is a System generalized to N hosts: Setup wires one echo
+// server and one client endpoint per host in clients, and returns an
+// issuer addressed by (client, stream). The two-host System of the §5
+// figures is the clients=[Hosts[0]] special case (see System()).
+type FabricSystem struct {
+	Name string
+	// Setup wires the echo service on server and a client endpoint on
+	// every host in clients. done is invoked on the issuing client's
+	// host when that client's request reqID completes.
+	Setup func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(client int, reqID uint64)) (issue func(client, stream int, reqID uint64, size, respSize int))
+}
+
+// System adapts the fabric wiring to the two-host harness: client =
+// Hosts[0], server = Hosts[1]. Every §5 figure runs through this
+// adapter, so the two-host numbers come from the same code path as the
+// fabric experiments.
+func (f FabricSystem) System() System {
+	return System{Name: f.Name, Setup: func(w *World, streams, mtu int, noTSO bool, done func(uint64)) func(int, uint64, int, int) {
+		issue := f.Setup(w, []*cpusim.Host{w.Client}, w.Server,
+			FabricConfig{StreamsPerClient: streams, MTU: mtu, NoTSO: noTSO},
+			func(_ int, reqID uint64) { done(reqID) })
+		return func(stream int, reqID uint64, size, respSize int) {
+			issue(0, stream, reqID, size, respSize)
+		}
+	}}
+}
+
+// serverThreads is the app-thread pool message transports deliver into.
+func serverThreads() []int {
+	threads := make([]int, AppThreads)
+	for i := range threads {
+		threads[i] = i
+	}
+	return threads
+}
+
 // --- message-transport systems (Homa, SMT) ---
 
-func homaSystem() System {
-	return System{Name: "Homa", Setup: func(w *World, streams, mtu int, noTSO bool, done func(uint64)) func(int, uint64, int, int) {
-		threads := make([]int, AppThreads)
-		for i := range threads {
-			threads[i] = i
-		}
-		srv := homa.NewSocket(w.Server, homa.Config{Port: ServerPort, MTU: mtu, NoTSO: noTSO, AppThreads: threads}, nil)
+func homaFabric() FabricSystem {
+	return FabricSystem{Name: "Homa", Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) func(int, int, uint64, int, int) {
+		srv := homa.NewSocket(server, homa.Config{Port: ServerPort, MTU: cfg.MTU, NoTSO: cfg.NoTSO, AppThreads: serverThreads()}, nil)
 		srv.OnMessage(func(d homa.Delivery) {
 			id, respSize, err := rpc.Decode(d.Payload)
 			if err != nil {
 				return
 			}
-			w.Server.RunApp(d.AppThread, w.CM.AppLogic, func() {
+			server.RunApp(d.AppThread, w.CM.AppLogic, func() {
 				srv.Send(d.Src, d.SrcPort, rpc.Encode(id, 0, int(respSize)), d.AppThread)
 			})
 		})
-		cli := homa.NewSocket(w.Client, homa.Config{MTU: mtu, NoTSO: noTSO}, nil)
-		cli.OnMessage(func(d homa.Delivery) {
-			if id, _, err := rpc.Decode(d.Payload); err == nil {
-				done(id)
-			}
-		})
-		return func(stream int, reqID uint64, size, respSize int) {
-			cli.Send(ServerAddr, ServerPort, rpc.Encode(reqID, uint32(respSize), size), stream%AppThreads)
+		clis := make([]*homa.Socket, len(clients))
+		for ci, ch := range clients {
+			ci := ci
+			cli := homa.NewSocket(ch, homa.Config{MTU: cfg.MTU, NoTSO: cfg.NoTSO}, nil)
+			cli.OnMessage(func(d homa.Delivery) {
+				if id, _, err := rpc.Decode(d.Payload); err == nil {
+					done(ci, id)
+				}
+			})
+			clis[ci] = cli
+		}
+		return func(client, stream int, reqID uint64, size, respSize int) {
+			clis[client].Send(server.Addr, ServerPort, rpc.Encode(reqID, uint32(respSize), size), stream%AppThreads)
 		}
 	}}
 }
 
-func smtSystem(hw bool) System {
+func homaSystem() System { return homaFabric().System() }
+
+func smtFabric(hw bool) FabricSystem {
 	name := "SMT-sw"
 	if hw {
 		name = "SMT-hw"
 	}
-	return System{Name: name, Setup: func(w *World, streams, mtu int, noTSO bool, done func(uint64)) func(int, uint64, int, int) {
-		threads := make([]int, AppThreads)
-		for i := range threads {
-			threads[i] = i
-		}
-		srv := core.NewSocket(w.Server, core.Config{
-			Transport: homa.Config{Port: ServerPort, MTU: mtu, NoTSO: noTSO, AppThreads: threads},
+	return FabricSystem{Name: name, Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) func(int, int, uint64, int, int) {
+		srv := core.NewSocket(server, core.Config{
+			Transport: homa.Config{Port: ServerPort, MTU: cfg.MTU, NoTSO: cfg.NoTSO, AppThreads: serverThreads()},
 			HWOffload: hw,
 		})
-		cli := core.NewSocket(w.Client, core.Config{
-			Transport: homa.Config{MTU: mtu, NoTSO: noTSO},
-			HWOffload: hw,
-		})
-		if err := core.PairSessions(cli, cli.Port(), srv, ServerPort, 11); err != nil {
-			panic(err)
+		clis := make([]*core.Socket, len(clients))
+		for ci, ch := range clients {
+			ci := ci
+			cli := core.NewSocket(ch, core.Config{
+				Transport: homa.Config{MTU: cfg.MTU, NoTSO: cfg.NoTSO},
+				HWOffload: hw,
+			})
+			// Each client pair gets its own session keys, as one TLS
+			// handshake per flow 5-tuple would produce (§4.2).
+			if err := core.PairSessions(cli, cli.Port(), srv, ServerPort, byte(11+ci)); err != nil {
+				panic(err)
+			}
+			cli.OnMessage(func(d homa.Delivery) {
+				if id, _, err := rpc.Decode(d.Payload); err == nil {
+					done(ci, id)
+				}
+			})
+			clis[ci] = cli
 		}
 		srv.OnMessage(func(d homa.Delivery) {
 			id, respSize, err := rpc.Decode(d.Payload)
 			if err != nil {
 				return
 			}
-			w.Server.RunApp(d.AppThread, w.CM.AppLogic, func() {
+			server.RunApp(d.AppThread, w.CM.AppLogic, func() {
 				srv.Send(d.Src, d.SrcPort, rpc.Encode(id, 0, int(respSize)), d.AppThread)
 			})
 		})
-		cli.OnMessage(func(d homa.Delivery) {
-			if id, _, err := rpc.Decode(d.Payload); err == nil {
-				done(id)
-			}
-		})
-		return func(stream int, reqID uint64, size, respSize int) {
-			cli.Send(ServerAddr, ServerPort, rpc.Encode(reqID, uint32(respSize), size), stream%AppThreads)
+		return func(client, stream int, reqID uint64, size, respSize int) {
+			clis[client].Send(server.Addr, ServerPort, rpc.Encode(reqID, uint32(respSize), size), stream%AppThreads)
 		}
 	}}
 }
 
+func smtSystem(hw bool) System { return smtFabric(hw).System() }
+
 // --- TCP-family systems ---
 
-// tcpFamily wires `streams` connections, one per RPC stream, through a
+// tcpFabricFamily wires one connection per (client, stream) through a
 // codec factory pair (client, server); nil factories mean plain TCP.
-func tcpFamily(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) System {
-	return System{Name: name, Setup: func(w *World, streams, mtu int, noTSO bool, done func(uint64)) func(int, uint64, int, int) {
-		cfg := tcpsim.Config{MTU: mtu}
+func tcpFabricFamily(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) FabricSystem {
+	return FabricSystem{Name: name, Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) func(int, int, uint64, int, int) {
+		tcfg := tcpsim.Config{MTU: cfg.MTU}
 		nextThread := 0
-		tcpsim.Listen(w.Server, serverPortK, cfg, func() tcpsim.Codec {
+		tcpsim.Listen(server, serverPortK, tcfg, func() tcpsim.Codec {
 			if mkSrv == nil {
 				return tcpsim.PlainCodec{}
 			}
@@ -172,40 +261,52 @@ func tcpFamily(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) System {
 				if err != nil {
 					return
 				}
-				w.Server.RunApp(c.AppThread(), w.CM.AppLogic, func() {
+				server.RunApp(c.AppThread(), w.CM.AppLogic, func() {
 					c.SendMessage(rpc.Encode(id, 0, int(respSize)))
 				})
 			})
 		})
-		conns := make([]*tcpsim.Conn, streams)
-		for i := 0; i < streams; i++ {
-			var codec tcpsim.Codec
-			if mkCli != nil {
-				codec = mkCli(w)
-			}
-			c := tcpsim.Dial(w.Client, i%AppThreads, cfg, codec, ServerAddr, serverPortK, nil)
-			c.OnMessage(func(m []byte) {
-				if id, _, err := rpc.Decode(m); err == nil {
-					done(id)
+		conns := make([][]*tcpsim.Conn, len(clients))
+		for ci, ch := range clients {
+			ci := ci
+			conns[ci] = make([]*tcpsim.Conn, cfg.StreamsPerClient)
+			for i := 0; i < cfg.StreamsPerClient; i++ {
+				var codec tcpsim.Codec
+				if mkCli != nil {
+					codec = mkCli(w)
 				}
-			})
-			conns[i] = c
+				c := tcpsim.Dial(ch, i%AppThreads, tcfg, codec, server.Addr, serverPortK, nil)
+				c.OnMessage(func(m []byte) {
+					if id, _, err := rpc.Decode(m); err == nil {
+						done(ci, id)
+					}
+				})
+				conns[ci][i] = c
+			}
 		}
 		// Pre-establish all connections before measurement.
 		w.Eng.RunUntil(w.Eng.Now() + 5*sim.Millisecond)
-		return func(stream int, reqID uint64, size, respSize int) {
-			conns[stream].SendMessage(rpc.Encode(reqID, uint32(respSize), size))
+		return func(client, stream int, reqID uint64, size, respSize int) {
+			conns[client][stream].SendMessage(rpc.Encode(reqID, uint32(respSize), size))
 		}
 	}}
 }
 
-func tcpSystem() System {
-	return tcpFamily("TCP", nil, nil)
+// tcpFamily is the two-host adapter kept for the §5 figure drivers.
+func tcpFamily(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) System {
+	return tcpFabricFamily(name, mkCli, mkSrv).System()
 }
 
-func ktlsSystem(mode ktls.Mode) System {
-	name := mode.String()
-	return tcpFamily(name,
+func tcpFabric() FabricSystem {
+	return tcpFabricFamily("TCP", nil, nil)
+}
+
+func tcpSystem() System {
+	return tcpFabric().System()
+}
+
+func ktlsFabric(mode ktls.Mode) FabricSystem {
+	return tcpFabricFamily(mode.String(),
 		func(w *World) tcpsim.Codec {
 			ck, _ := ktls.PairKeys(21)
 			c, err := ktls.New(w.CM, mode, ck)
@@ -222,6 +323,10 @@ func ktlsSystem(mode ktls.Mode) System {
 			}
 			return c
 		})
+}
+
+func ktlsSystem(mode ktls.Mode) System {
+	return ktlsFabric(mode).System()
 }
 
 func tcplsSystem() System {
@@ -244,16 +349,26 @@ func tcplsSystem() System {
 		})
 }
 
+// FabricSystems is the six-system lineup generalized to N hosts, in the
+// Fig6Systems order.
+func FabricSystems() []FabricSystem {
+	return []FabricSystem{
+		tcpFabric(),
+		ktlsFabric(ktls.ModeKTLSSW),
+		ktlsFabric(ktls.ModeKTLSHW),
+		homaFabric(),
+		smtFabric(false),
+		smtFabric(true),
+	}
+}
+
 // Fig6Systems is the §5.1/§5.2 lineup.
 func Fig6Systems() []System {
-	return []System{
-		tcpSystem(),
-		ktlsSystem(ktls.ModeKTLSSW),
-		ktlsSystem(ktls.ModeKTLSHW),
-		homaSystem(),
-		smtSystem(false),
-		smtSystem(true),
+	systems := make([]System, 0, 6)
+	for _, f := range FabricSystems() {
+		systems = append(systems, f.System())
 	}
+	return systems
 }
 
 // mtuOrDefault resolves an MTU argument.

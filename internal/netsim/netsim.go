@@ -1,8 +1,20 @@
-// Package netsim models the datacenter wire between hosts: propagation
-// and NIC pipeline latency, plus fault injection (loss, reordering,
-// duplication) for protocol robustness tests. Serialization delay is
-// charged by the transmitting NIC (which owns the link transmitter);
-// netsim adds everything that happens after the bits leave the NIC.
+// Package netsim models the datacenter fabric between hosts. Two wirings
+// exist:
+//
+//   - Back-to-back (the paper's testbed): an ideal wire with propagation
+//     and NIC pipeline latency only — no contention beyond the endpoints'
+//     own links.
+//   - An N-host fabric through a single output-queued switch: every
+//     packet crosses one switch whose egress ports serialize at port
+//     rate and share one packet buffer, so fan-in (incast) builds queues
+//     at the destination's port and overload drops from the shared
+//     buffer — the congestion signature datacenter transports are
+//     designed around.
+//
+// Both wirings add fault injection (loss, reordering, duplication) for
+// protocol robustness tests. Serialization onto the first link is charged
+// by the transmitting NIC (which owns the link transmitter); netsim adds
+// everything that happens after the bits leave the NIC.
 package netsim
 
 import (
@@ -14,14 +26,72 @@ import (
 	"smt/internal/wire"
 )
 
+// SwitchConfig models a single output-queued switch: per-egress-port
+// serialization at PortGbps and one shared buffer across all ports.
+// The zero value of each field selects a default.
+type SwitchConfig struct {
+	// PortGbps is the egress port rate; 0 uses the cost model's link rate
+	// (a non-blocking switch whose ports match the hosts' NICs).
+	PortGbps float64
+	// Latency is the fixed switching (pipeline + lookup) delay per
+	// packet; 0 uses DefaultSwitchLatency.
+	Latency sim.Time
+	// BufferBytes is the shared egress buffer; arriving packets that
+	// would push the total queued bytes past it are dropped (shared-
+	// buffer tail drop). 0 means unlimited.
+	BufferBytes int
+}
+
+// DefaultSwitchLatency approximates a cut-through ToR switch hop.
+const DefaultSwitchLatency = 300 * sim.Nanosecond
+
+// Topology describes a fabric: how many hosts attach and what connects
+// them. Hosts are addressed wire.HostAddr(0..Hosts-1); the two-host
+// back-to-back testbed of the paper is Topology{Hosts: 2}.
+type Topology struct {
+	// Hosts is the number of attached hosts (>= 2).
+	Hosts int
+	// Switch, when non-nil, routes every packet through an output-queued
+	// switch; nil wires the hosts ideally (back-to-back semantics,
+	// whatever the host count).
+	Switch *SwitchConfig
+}
+
+// Build returns a Network realizing the topology on eng. Hosts attach
+// themselves afterwards (cpusim.NewHost calls Attach via the NIC).
+func (t Topology) Build(eng *sim.Engine, cm *cost.Model) *Network {
+	if t.Hosts < 2 {
+		panic(fmt.Sprintf("netsim: topology needs >= 2 hosts, got %d", t.Hosts))
+	}
+	n := New(eng, cm)
+	if t.Switch != nil {
+		sw := *t.Switch
+		n.sw = &sw
+		n.ports = make(map[uint32]*egressPort)
+	}
+	return n
+}
+
+// egressPort is one switch output port: a FIFO of queued packets
+// draining at port rate.
+type egressPort struct {
+	queue []*wire.Packet
+	busy  bool
+}
+
 // Network connects endpoints addressed by IPv4-style uint32 addresses.
-// The evaluation topology is two hosts back-to-back, but any number of
-// endpoints can attach (the "switch" is ideal: no contention, matching
-// the paper's testbed which has no switch at all).
+// The default wiring is ideal (no contention, matching the paper's
+// back-to-back testbed); Topology.Build with a SwitchConfig inserts an
+// output-queued switch on every path instead.
 type Network struct {
 	eng *sim.Engine
 	cm  *cost.Model
 	eps map[uint32]func(*wire.Packet)
+
+	// Switch state (nil sw = ideal wiring).
+	sw      *SwitchConfig
+	ports   map[uint32]*egressPort
+	bufUsed int
 
 	// LossProb drops each packet independently with this probability.
 	LossProb float64
@@ -35,14 +105,28 @@ type Network struct {
 	Partitioned bool
 
 	// Delivered / Dropped count packets and bytes for observability.
-	Delivered stats.Counter
-	Dropped   stats.Counter
+	// SwitchDrops counts the subset of Dropped lost to shared-buffer
+	// overflow at the switch.
+	Delivered   stats.Counter
+	Dropped     stats.Counter
+	SwitchDrops stats.Counter
+	// QueueDepth tracks the shared-buffer occupancy (bytes) sampled at
+	// every switch enqueue, for congestion observability.
+	QueueDepth stats.Histogram
 }
 
-// New returns an empty network on eng with the given cost model.
+// New returns an empty, ideally wired network on eng with the given cost
+// model (the back-to-back testbed). Use Topology.Build for a switched
+// fabric.
 func New(eng *sim.Engine, cm *cost.Model) *Network {
 	return &Network{eng: eng, cm: cm, eps: make(map[uint32]func(*wire.Packet))}
 }
+
+// Switched reports whether packets cross an output-queued switch.
+func (n *Network) Switched() bool { return n.sw != nil }
+
+// BufferUsed reports the switch shared-buffer occupancy in bytes.
+func (n *Network) BufferUsed() int { return n.bufUsed }
 
 // Attach registers the receive entry point for addr (a host's NIC RX).
 // Attaching an address twice replaces the handler.
@@ -54,9 +138,9 @@ func (n *Network) Attach(addr uint32, rx func(*wire.Packet)) {
 }
 
 // Deliver accepts a fully serialized packet from a transmitting NIC and
-// schedules its arrival at the destination: one-way propagation plus the
-// receiving NIC's fixed pipeline delay. Unknown destinations and injected
-// faults drop silently, as a real fabric would.
+// moves it toward the destination: directly (ideal wiring) or through
+// the switch's egress port for the destination. Unknown destinations and
+// injected faults drop silently, as a real fabric would.
 func (n *Network) Deliver(pkt *wire.Packet) {
 	dst, ok := n.eps[pkt.IP.Dst]
 	if !ok || n.Partitioned {
@@ -67,7 +151,18 @@ func (n *Network) Deliver(pkt *wire.Packet) {
 		n.Dropped.Add(1, uint64(pkt.WireLen()))
 		return
 	}
-	delay := n.cm.PropDelay + n.cm.NICFixedDelay
+	if n.sw != nil {
+		n.switchEnqueue(pkt)
+		return
+	}
+	n.finalHop(pkt, dst, 0)
+}
+
+// finalHop schedules arrival at the destination NIC: one-way propagation
+// plus the receiving NIC's fixed pipeline delay, plus any switch-side
+// delay already accumulated.
+func (n *Network) finalHop(pkt *wire.Packet, dst func(*wire.Packet), extra sim.Time) {
+	delay := extra + n.cm.PropDelay + n.cm.NICFixedDelay
 	if n.ReorderProb > 0 && n.eng.Rand().Float64() < n.ReorderProb {
 		delay += n.ReorderDelay
 	}
@@ -77,4 +172,57 @@ func (n *Network) Deliver(pkt *wire.Packet) {
 		dup := pkt.Clone()
 		n.eng.At(n.eng.Now()+delay+sim.Microsecond, func() { dst(dup) })
 	}
+}
+
+// switchEnqueue admits a packet to the egress port serving its
+// destination, enforcing the shared buffer.
+func (n *Network) switchEnqueue(pkt *wire.Packet) {
+	size := pkt.WireLen()
+	if max := n.sw.BufferBytes; max > 0 && n.bufUsed+size > max {
+		n.Dropped.Add(1, uint64(size))
+		n.SwitchDrops.Add(1, uint64(size))
+		return
+	}
+	n.bufUsed += size
+	n.QueueDepth.Record(int64(n.bufUsed))
+	p, ok := n.ports[pkt.IP.Dst]
+	if !ok {
+		p = &egressPort{}
+		n.ports[pkt.IP.Dst] = p
+	}
+	lat := n.sw.Latency
+	if lat == 0 {
+		lat = DefaultSwitchLatency
+	}
+	// Switching latency before the packet reaches its egress queue.
+	n.eng.After(lat, func() {
+		p.queue = append(p.queue, pkt)
+		n.drainPort(p)
+	})
+}
+
+// drainPort serializes the head-of-line packet onto the egress link at
+// port rate, then hands it to the final hop.
+func (n *Network) drainPort(p *egressPort) {
+	if p.busy || len(p.queue) == 0 {
+		return
+	}
+	pkt := p.queue[0]
+	p.queue = p.queue[1:]
+	p.busy = true
+	rate := n.sw.PortGbps
+	if rate == 0 {
+		rate = n.cm.LinkGbps
+	}
+	ser := sim.Time(float64(pkt.WireLen()) * 8 / rate)
+	n.eng.After(ser, func() {
+		p.busy = false
+		n.bufUsed -= pkt.WireLen()
+		if dst, ok := n.eps[pkt.IP.Dst]; ok {
+			n.finalHop(pkt, dst, 0)
+		} else {
+			n.Dropped.Add(1, uint64(pkt.WireLen()))
+		}
+		n.drainPort(p)
+	})
 }

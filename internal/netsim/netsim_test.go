@@ -103,3 +103,150 @@ func TestReorderDelays(t *testing.T) {
 		t.Fatalf("times = %v, want [%v]", times, want)
 	}
 }
+
+// fabric builds an N-host switched network with a sink counter per host.
+func fabric(t *testing.T, hosts int, sw SwitchConfig, seed int64) (*sim.Engine, *Network, []int) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	n := Topology{Hosts: hosts, Switch: &sw}.Build(eng, cost.Default())
+	got := make([]int, hosts)
+	for i := 0; i < hosts; i++ {
+		i := i
+		n.Attach(wire.HostAddr(i), func(p *wire.Packet) { got[i]++ })
+	}
+	return eng, n, got
+}
+
+func TestTopologyIdealMatchesNew(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cm := cost.Default()
+	n := Topology{Hosts: 2}.Build(eng, cm)
+	if n.Switched() {
+		t.Fatal("switchless topology reports Switched")
+	}
+	var at sim.Time
+	n.Attach(2, func(p *wire.Packet) { at = eng.Now() })
+	eng.At(1000, func() { n.Deliver(pkt(2)) })
+	eng.Run()
+	if want := sim.Time(1000) + cm.PropDelay + cm.NICFixedDelay; at != want {
+		t.Fatalf("ideal topology arrival at %v, want %v", at, want)
+	}
+}
+
+func TestTopologyTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Topology{Hosts:1}.Build should panic")
+		}
+	}()
+	Topology{Hosts: 1}.Build(sim.NewEngine(1), cost.Default())
+}
+
+func TestSwitchAddsLatencyAndSerialization(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cm := cost.Default()
+	n := Topology{Hosts: 2, Switch: &SwitchConfig{}}.Build(eng, cm)
+	if !n.Switched() {
+		t.Fatal("switched topology not Switched")
+	}
+	var at sim.Time
+	n.Attach(2, func(p *wire.Packet) { at = eng.Now() })
+	p := pkt(2)
+	eng.At(0, func() { n.Deliver(p) })
+	eng.Run()
+	ser := sim.Time(float64(p.WireLen()) * 8 / cm.LinkGbps)
+	want := DefaultSwitchLatency + ser + cm.PropDelay + cm.NICFixedDelay
+	if at != want {
+		t.Fatalf("switched arrival at %v, want %v", at, want)
+	}
+}
+
+// TestSwitchEgressQueueing: two packets to the same destination
+// serialize one after the other at port rate; packets to a different
+// destination are unaffected (output queueing).
+func TestSwitchEgressQueueing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cm := cost.Default()
+	n := Topology{Hosts: 3, Switch: &SwitchConfig{PortGbps: 10}}.Build(eng, cm)
+	var hot []sim.Time
+	var cold sim.Time
+	n.Attach(2, func(p *wire.Packet) { hot = append(hot, eng.Now()) })
+	n.Attach(3, func(p *wire.Packet) { cold = eng.Now() })
+	eng.At(0, func() {
+		n.Deliver(pkt(2))
+		n.Deliver(pkt(2))
+		n.Deliver(pkt(3))
+	})
+	eng.Run()
+	ser := sim.Time(float64(pkt(2).WireLen()) * 8 / 10)
+	base := DefaultSwitchLatency + ser + cm.PropDelay + cm.NICFixedDelay
+	if len(hot) != 2 || hot[0] != base || hot[1] != base+ser {
+		t.Fatalf("hot-port arrivals %v, want [%v %v]", hot, base, base+ser)
+	}
+	if cold != base {
+		t.Fatalf("cold-port arrival %v, want %v (must not queue behind the hot port)", cold, base)
+	}
+}
+
+// TestSwitchSharedBufferDrops: a burst exceeding the shared buffer tail-
+// drops; the buffer fully drains afterwards.
+func TestSwitchSharedBufferDrops(t *testing.T) {
+	wireLen := pkt(2).WireLen()
+	eng, n, got := fabric(t, 2, SwitchConfig{BufferBytes: 4 * wireLen, PortGbps: 1}, 1)
+	eng.At(0, func() {
+		for i := 0; i < 10; i++ {
+			n.Deliver(pkt(2))
+		}
+	})
+	eng.Run()
+	if got[1] != 4 {
+		t.Fatalf("delivered %d of 10 with a 4-packet shared buffer, want 4", got[1])
+	}
+	if n.SwitchDrops.N != 6 {
+		t.Fatalf("SwitchDrops = %d, want 6", n.SwitchDrops.N)
+	}
+	if n.BufferUsed() != 0 {
+		t.Fatalf("buffer not drained: %d bytes", n.BufferUsed())
+	}
+}
+
+// TestSwitchBufferSharedAcrossPorts: a hog destination can starve a
+// victim destination of buffer space — the shared-buffer coupling that
+// makes incast hurt innocent flows.
+func TestSwitchBufferSharedAcrossPorts(t *testing.T) {
+	wireLen := pkt(2).WireLen()
+	eng, n, got := fabric(t, 3, SwitchConfig{BufferBytes: 4 * wireLen, PortGbps: 1}, 1)
+	eng.At(0, func() {
+		for i := 0; i < 4; i++ {
+			n.Deliver(pkt(2)) // fill the shared buffer toward host 1
+		}
+		n.Deliver(pkt(3)) // victim: no space left
+	})
+	eng.Run()
+	if got[2] != 0 {
+		t.Fatalf("victim packet delivered despite full shared buffer")
+	}
+	if got[1] != 4 {
+		t.Fatalf("hog got %d of 4", got[1])
+	}
+}
+
+func TestSwitchDeterministic(t *testing.T) {
+	run := func() (sim.Time, uint64, uint64) {
+		eng, n, _ := fabric(t, 4, SwitchConfig{BufferBytes: 2000, PortGbps: 25}, 42)
+		n.LossProb = 0.1
+		n.DupProb = 0.1
+		eng.At(0, func() {
+			for i := 0; i < 200; i++ {
+				n.Deliver(pkt(wire.HostAddr(i % 3)))
+			}
+		})
+		end := eng.Run()
+		return end, n.Delivered.N, n.Dropped.N
+	}
+	e1, d1, x1 := run()
+	e2, d2, x2 := run()
+	if e1 != e2 || d1 != d2 || x1 != x2 {
+		t.Fatalf("switched fabric not deterministic: (%v,%d,%d) vs (%v,%d,%d)", e1, d1, x1, e2, d2, x2)
+	}
+}

@@ -90,7 +90,11 @@ func newConn(host *cpusim.Host, cfg Config, codec Codec, localPort uint16, peerA
 		appThread: appThread,
 		queue:     host.AppQueue(appThread),
 		ooo:       make(map[int64][]byte),
-		ctxID:     uint64(localPort)<<32 | uint64(peerPort)<<16 | uint64(wire.ProtoTCP),
+		// The NIC crypto context must be unique per connection on this
+		// NIC. Ephemeral port counters are per-host, so (localPort,
+		// peerPort) alone collides when two hosts dial the same server;
+		// the peer address disambiguates (the full 4-tuple).
+		ctxID: uint64(peerAddr)<<32 | uint64(localPort)<<16 | uint64(peerPort),
 	}
 	f := wire.Flow{SrcIP: host.Addr, DstIP: peerAddr, SrcPort: localPort, DstPort: peerPort, Proto: wire.ProtoTCP}
 	c.core = int(f.FastHash() % uint64(len(host.Softirq)))

@@ -48,6 +48,12 @@ const (
 	JumboMTU      = 9000      // §5.2 "impact of a larger MTU"
 )
 
+// HostAddr is the fabric addressing convention: host index i (0-based)
+// lives at address i+1, so the two-host testbed's client/server sit at
+// 1 and 2 and an N-host topology occupies 1..N. Address 0 is never a
+// host (it reads as "unset" in packet headers).
+func HostAddr(i int) uint32 { return uint32(i) + 1 }
+
 // PacketType distinguishes the overlay-header packets. DATA carries
 // (possibly encrypted) message bytes; the control types mirror Homa's
 // protocol (GRANT ≈ NDP PULL, RESEND ≈ NDP NACK).

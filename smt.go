@@ -11,9 +11,16 @@
 //	smt.PairSessions(cli, cli.Port(), srv, port, 1)  // or run a handshake
 //	cli.Send(dstAddr, dstPort, payload, thread)
 //
+// For N-host scenarios, build a fabric instead: hosts behind an
+// output-queued switch with per-port capacity and a shared buffer:
+//
+//	topo := smt.Topology{Hosts: 9, Switch: &smt.SwitchConfig{BufferBytes: 256 << 10}}
+//	world := smt.NewFabricWorld(seed, topo)          // Hosts[0..8]
+//
 // Everything underneath lives in internal/: the discrete-event engine,
 // the host/NIC/network models, the Homa engine, the TCP/kTLS/TCPLS
-// baselines, and one experiment runner per table/figure of the paper.
+// baselines, and one experiment runner per table/figure of the paper
+// (plus the fabric-scale incast and multiclient experiments).
 package smt
 
 import (
@@ -21,6 +28,7 @@ import (
 	"smt/internal/cpusim"
 	"smt/internal/experiments"
 	"smt/internal/homa"
+	"smt/internal/netsim"
 	"smt/internal/tlsrec"
 )
 
@@ -40,8 +48,13 @@ type (
 	Delivery = homa.Delivery
 	// BitAllocation is the composite sequence-number split (§4.4.1).
 	BitAllocation = tlsrec.BitAllocation
-	// World is the simulated two-host testbed.
+	// World is the simulated testbed: N hosts on a shared fabric, with
+	// the two-host back-to-back configuration as the default.
 	World = experiments.World
+	// Topology describes a fabric: host count plus optional switch.
+	Topology = netsim.Topology
+	// SwitchConfig models the output-queued switch of an N-host fabric.
+	SwitchConfig = netsim.SwitchConfig
 )
 
 // DefaultAllocation is the paper's 48-bit message ID + 16-bit record
@@ -51,6 +64,13 @@ var DefaultAllocation = tlsrec.DefaultAllocation
 // NewWorld builds a deterministic two-host testbed (12 app threads and 4
 // stack cores per host on a 100 GbE back-to-back link).
 func NewWorld(seed int64) *World { return experiments.NewWorld(seed) }
+
+// NewFabricWorld builds a deterministic N-host testbed wired by topo;
+// host i sits at address i+1 (wire.HostAddr). The two-host testbed is
+// the Topology{Hosts: 2} special case.
+func NewFabricWorld(seed int64, topo Topology) *World {
+	return experiments.NewFabricWorld(seed, topo)
+}
 
 // Host is one simulated machine (cores + NIC).
 type Host = cpusim.Host
