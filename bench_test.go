@@ -194,6 +194,22 @@ func BenchmarkMulticlient(b *testing.B) {
 	}
 }
 
+// BenchmarkLoadSweep regenerates the open-loop load sweep at the
+// highest swept load — the slowdown-separation acceptance point (full
+// sweep via cmd/smtbench loadsweep).
+func BenchmarkLoadSweep(b *testing.B) {
+	top := experiments.LoadSweepLoads[len(experiments.LoadSweepLoads)-1]
+	for i := 0; i < b.N; i++ {
+		for _, sys := range experiments.FabricSystems() {
+			r := experiments.MeasureLoadSweep(sys, top, experiments.LoadSweepSeed(top))
+			if i == 0 {
+				b.Logf("%-8s load=%.0f%%: slowdown p50=%.1f p99=%.1f goodput=%.1fGbps",
+					r.System, top*100, r.P50Slowdown, r.P99Slowdown, r.GoodputGbps)
+			}
+		}
+	}
+}
+
 // BenchmarkCPUUsage regenerates the §5.2 fixed-rate CPU comparison.
 func BenchmarkCPUUsage(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -2,7 +2,7 @@
 // evaluation from the simulated testbed as formatted, human-readable
 // tables. Run with a subcommand (table1, table2, fig2, fig5, fig6,
 // fig7, fig7mtu, cpuusage, fig8, fig9, fig10, fig11, fig12, incast,
-// multiclient) or `all`.
+// multiclient, loadsweep) or `all`.
 //
 // It runs the typed serial drivers directly; for parallel sweeps and
 // machine-readable JSON artifacts use cmd/smtexp, which runs the same
@@ -113,6 +113,12 @@ func main() {
 		for _, r := range experiments.Multiclient() {
 			fmt.Printf("%-8s M=%d %.3fM RPC/s (%.0f/client) lat=%6.1fµs srvCPU=%.0f%%\n",
 				r.System, r.Clients, r.RPCsPerSec/1e6, r.PerClientRPCs, r.MeanLatUs, r.ServerCPU*100)
+		}
+	})
+	run("loadsweep", func() {
+		for _, r := range experiments.LoadSweep() {
+			fmt.Printf("%-8s load=%2.0f%% offered=%5.1fGbps goodput=%5.1fGbps slowdown p50=%7.2f p99=%8.2f drops=%d\n",
+				r.System, r.Load*100, r.OfferedGbps, r.GoodputGbps, r.P50Slowdown, r.P99Slowdown, r.SwitchDrops)
 		}
 	})
 }

@@ -8,6 +8,7 @@
 //	smtexp -list                     # what is registered, with point counts
 //	smtexp -run fig6                 # one experiment, human-readable rows
 //	smtexp -run fig6,fig7 -json o.json -workers 8
+//	smtexp -run loadsweep -json s.json  # open-loop slowdown-vs-load sweep
 //	smtexp -run all -json all.json   # the full evaluation
 //
 // Points of one experiment fan out across -workers goroutines (default

@@ -11,8 +11,10 @@ import (
 // across worker pools of any width — must produce byte-identical JSON
 // artifacts. Every point builds its own World with its own engine and
 // RNG stream, so neither scheduling nor worker count may leak into
-// results. The fabric experiments (incast, multiclient) are covered by
-// the same loop as the §5 figures.
+// results. The fabric experiments (incast, multiclient) and the
+// open-loop load sweep (loadsweep, whose Poisson arrival process draws
+// from the per-world seeded RNG) are covered by the same loop as the
+// §5 figures; TestDeterminismCoverage pins that they stay registered.
 
 // artifactJSON runs pts and serializes the results the way a JSON
 // artifact would, with wall-clock timing stripped (the only field
@@ -74,6 +76,17 @@ func TestDeterministicArtifacts(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDeterminismCoverage pins that the experiments whose determinism
+// is least obvious — the fabric sweeps and the randomized open-loop
+// load sweep — are in the registry TestDeterministicArtifacts walks.
+func TestDeterminismCoverage(t *testing.T) {
+	for _, name := range []string{"incast", "multiclient", "loadsweep"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("%s not registered; determinism battery no longer covers it", name)
+		}
 	}
 }
 

@@ -258,6 +258,26 @@ func init() {
 		return specs
 	})
 
+	register("loadsweep", "open-loop offered-load sweep: p50/p99 slowdown and goodput vs load across the six systems", func() []pointSpec {
+		var specs []pointSpec
+		names := systemNames()
+		for _, load := range LoadSweepLoads {
+			for si, name := range names {
+				load := load
+				specs = append(specs, pointSpec{
+					Key:    fmt.Sprintf("sys=%s/load=%d", name, LoadSweepPercent(load)),
+					Seed:   LoadSweepSeed(load),
+					Labels: Labels{"system": name, "load": fmt.Sprintf("%.2f", load), "dist": LoadSweepDist().Name()},
+					Run: func() Values {
+						r := MeasureLoadSweep(FabricSystems()[si], load, LoadSweepSeed(load))
+						return loadSweepValues(r)
+					},
+				})
+			}
+		}
+		return specs
+	})
+
 	register("fig2", "autonomous-offload resync semantics: in-seq, out-of-seq, resync-repaired (§3.2)", func() []pointSpec {
 		var specs []pointSpec
 		for i := range fig2Scenarios {
@@ -365,6 +385,21 @@ func tputValues(r TputRow) Values {
 		"mean_lat_us":  r.MeanLatUs,
 		"client_cpu":   r.ClientCPU,
 		"server_cpu":   r.ServerCPU,
+	}
+}
+
+// loadSweepValues flattens a load-sweep row into registry values.
+func loadSweepValues(r LoadSweepRow) Values {
+	return Values{
+		"offered_gbps": r.OfferedGbps,
+		"goodput_gbps": r.GoodputGbps,
+		"p50_slowdown": r.P50Slowdown,
+		"p99_slowdown": r.P99Slowdown,
+		"mean_lat_us":  r.MeanLatUs,
+		"p99_lat_us":   r.P99LatUs,
+		"switch_drops": float64(r.SwitchDrops),
+		"issued":       float64(r.Issued),
+		"n":            float64(r.N),
 	}
 }
 

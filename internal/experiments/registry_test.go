@@ -9,7 +9,7 @@ import (
 var expectedExperiments = []string{
 	"cpuusage", "fig10", "fig11", "fig12", "fig2", "fig5",
 	"fig6", "fig7", "fig7mtu", "fig8", "fig9", "incast",
-	"multiclient", "table1", "table2",
+	"loadsweep", "multiclient", "table1", "table2",
 }
 
 func TestRegistryCatalogue(t *testing.T) {
@@ -107,6 +107,7 @@ func TestRegistryPointCounts(t *testing.T) {
 		"table1":      len(Table1()),
 		"table2":      1,
 		"incast":      len(IncastClients) * len(IncastSizes) * len(FabricSystems()),
+		"loadsweep":   len(LoadSweepLoads) * len(FabricSystems()),
 		"multiclient": len(MulticlientCounts) * len(FabricSystems()),
 	}
 	for name, n := range want {

@@ -54,16 +54,26 @@ type event struct {
 }
 
 // Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
 
 // Stop cancels the timer. It reports whether the call prevented the event
-// from firing (false if it already fired or was already stopped).
+// from firing (false if it already fired or was already stopped). The
+// event stays in the heap as a dead entry until it is popped or the
+// engine compacts; heavy reschedulers (per-packet RTO timers) therefore
+// cost O(log n) per Stop, not O(n).
 func (t *Timer) Stop() bool {
 	if t == nil || t.ev == nil || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
 	t.ev.fn = nil
+	if t.eng != nil {
+		t.eng.live--
+		t.eng.maybeCompact()
+	}
 	return true
 }
 
@@ -105,10 +115,40 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	heap    eventHeap
+	live    int // scheduled, non-cancelled events in the heap
 	rng     *rand.Rand
 	stopped bool
 	// Executed counts events that have run, a cheap progress/size metric.
 	Executed uint64
+}
+
+// compactMinLen is the heap size below which dead entries are left for
+// the pop path to skip: compacting tiny heaps costs more than it saves.
+const compactMinLen = 1024
+
+// maybeCompact drops cancelled events from the heap once they outnumber
+// the live ones (dead fraction > 50%). Without this, a long simulation
+// that reschedules per-packet RTO timers accumulates dead entries
+// without bound. Rebuilding filters in place and re-heapifies; pop
+// order is unchanged because (at, seq) is a total order.
+func (e *Engine) maybeCompact() {
+	if len(e.heap) < compactMinLen || len(e.heap) <= 2*e.live {
+		return
+	}
+	kept := e.heap[:0]
+	for _, ev := range e.heap {
+		if !ev.dead {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(e.heap); i++ {
+		e.heap[i] = nil // release dead events to the GC
+	}
+	e.heap = kept
+	for i, ev := range e.heap {
+		ev.idx = i
+	}
+	heap.Init(&e.heap)
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -136,7 +176,8 @@ func (e *Engine) At(at Time, fn func()) *Timer {
 	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.heap, ev)
-	return &Timer{ev: ev}
+	e.live++
+	return &Timer{eng: e, ev: ev}
 }
 
 // After schedules fn to run d nanoseconds of virtual time from now.
@@ -150,16 +191,8 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 // Stop aborts Run / RunUntil at the next event boundary.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending reports the number of scheduled (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.heap {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of scheduled (non-cancelled) events, O(1).
+func (e *Engine) Pending() int { return e.live }
 
 // step executes the earliest pending event. It reports false when no
 // events remain.
@@ -174,6 +207,7 @@ func (e *Engine) step() bool {
 		}
 		e.now = ev.at
 		ev.dead = true
+		e.live--
 		fn := ev.fn
 		ev.fn = nil
 		fn()

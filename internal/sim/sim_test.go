@@ -85,6 +85,92 @@ func TestTimerStop(t *testing.T) {
 	}
 }
 
+// TestHeapCompaction is the dead-event regression test: a long run that
+// schedules and immediately cancels per-packet RTO-style timers must not
+// grow the heap without bound. With 1M schedule+cancel cycles against a
+// handful of live events, the heap stays within a small multiple of the
+// live count (bounded by the compaction threshold).
+func TestHeapCompaction(t *testing.T) {
+	e := NewEngine(1)
+	const live = 16
+	for i := 0; i < live; i++ {
+		e.At(Time(1_000_000_000+i), func() {})
+	}
+	for i := 0; i < 1_000_000; i++ {
+		tm := e.After(Time(1000+i%777), func() { t.Error("cancelled timer fired") })
+		if !tm.Stop() {
+			t.Fatal("Stop on fresh timer failed")
+		}
+		if got := e.Pending(); got != live {
+			t.Fatalf("Pending = %d after %d cancels, want %d", got, i+1, live)
+		}
+	}
+	if len(e.heap) > 2*compactMinLen {
+		t.Fatalf("heap length %d after 1M cancels; compaction is not bounding it", len(e.heap))
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+// TestPendingCounts pins the live counter across schedule, cancel, and
+// execution.
+func TestPendingCounts(t *testing.T) {
+	e := NewEngine(1)
+	if e.Pending() != 0 {
+		t.Fatal("fresh engine has pending events")
+	}
+	a := e.At(10, func() {})
+	e.At(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	a.Stop()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after Stop, want 1", e.Pending())
+	}
+	a.Stop() // double-stop must not double-decrement
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after double Stop, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+// TestCompactionPreservesOrder: cancelling enough timers to trigger a
+// compaction mid-run must not change the firing order of survivors.
+func TestCompactionPreservesOrder(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	// Interleave survivors with soon-cancelled timers at equal times so a
+	// rebuild would expose any tie-break (seq) corruption.
+	var cancel []*Timer
+	for i := 0; i < 3*compactMinLen; i++ {
+		at := Time(100 + i/4)
+		if i%4 == 0 {
+			at := at
+			e.At(at, func() { fired = append(fired, at) })
+		} else {
+			cancel = append(cancel, e.At(at, func() { t.Error("cancelled timer fired") }))
+		}
+	}
+	for _, tm := range cancel {
+		tm.Stop()
+	}
+	e.Run()
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("firing order regressed at %d: %v after %v", i, fired[i], fired[i-1])
+		}
+	}
+	if len(fired) != 3*compactMinLen/4 {
+		t.Fatalf("fired %d events, want %d", len(fired), 3*compactMinLen/4)
+	}
+}
+
 func TestRunUntil(t *testing.T) {
 	e := NewEngine(1)
 	var fired []Time

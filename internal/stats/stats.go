@@ -24,6 +24,14 @@ type Histogram struct {
 	sum    float64
 	min    int64
 	max    int64
+	// sorted caches the ascending bucket list for Quantile; nil means
+	// stale (any Record/Merge/Reset invalidates it).
+	sorted []bucketCount
+}
+
+type bucketCount struct {
+	b uint32
+	c uint64
 }
 
 func bucketOf(v int64) uint32 {
@@ -33,7 +41,7 @@ func bucketOf(v int64) uint32 {
 	u := uint64(v)
 	exp := 0
 	if u >= 1<<subBucketBits {
-		exp = 64 - subBucketBits - bits.LeadingZeros64(u)
+		exp = 63 - subBucketBits - bits.LeadingZeros64(u)
 	}
 	sub := u >> uint(exp) // in [2^subBucketBits, 2^(subBucketBits+1)) for exp>0
 	return uint32(exp)<<16 | uint32(sub)
@@ -65,6 +73,7 @@ func (h *Histogram) RecordN(v int64, count uint64) {
 		v = 0
 	}
 	h.counts[bucketOf(v)] += count
+	h.sorted = nil
 	h.n += count
 	h.sum += float64(v) * float64(count)
 	if v < h.min {
@@ -102,8 +111,25 @@ func (h *Histogram) Max() int64 {
 	return h.max
 }
 
+// orderedBuckets returns the bucket list in ascending value order,
+// (re)building the cache if a Record/Merge/Reset invalidated it. Bucket
+// keys (exp<<16 | sub) compare in the same order as the values they
+// cover, so an integer sort on the key suffices.
+func (h *Histogram) orderedBuckets() []bucketCount {
+	if h.sorted == nil {
+		h.sorted = make([]bucketCount, 0, len(h.counts))
+		for b, c := range h.counts {
+			h.sorted = append(h.sorted, bucketCount{b, c})
+		}
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i].b < h.sorted[j].b })
+	}
+	return h.sorted
+}
+
 // Quantile returns the value at quantile q in [0,1] with the histogram's
 // bucket resolution. Exact recorded min/max are returned at the extremes.
+// The sorted bucket list is cached across calls, so a p50+p99 pair in a
+// reporting loop sorts (and allocates) at most once per recording burst.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
@@ -114,21 +140,12 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q >= 1 {
 		return h.max
 	}
-	type bc struct {
-		b uint32
-		c uint64
-	}
-	ordered := make([]bc, 0, len(h.counts))
-	for b, c := range h.counts {
-		ordered = append(ordered, bc{b, c})
-	}
-	sort.Slice(ordered, func(i, j int) bool { return bucketMid(ordered[i].b) < bucketMid(ordered[j].b) })
 	rank := uint64(math.Ceil(q * float64(h.n)))
 	if rank == 0 {
 		rank = 1
 	}
 	var cum uint64
-	for _, e := range ordered {
+	for _, e := range h.orderedBuckets() {
 		cum += e.c
 		if cum >= rank {
 			v := bucketMid(e.b)
@@ -163,6 +180,7 @@ func (h *Histogram) Merge(other *Histogram) {
 	for b, c := range other.counts {
 		h.counts[b] += c
 	}
+	h.sorted = nil
 	h.n += other.n
 	h.sum += other.sum
 	if other.min < h.min {
@@ -181,6 +199,55 @@ func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d min=%d max=%d",
 		h.n, h.Mean(), h.P50(), h.P99(), h.Min(), h.Max())
 }
+
+// RatioScale is the fixed-point scale Ratio stores dimensionless ratios
+// at: 1e4 keeps four decimal digits before the histogram's own ~0.8%
+// log-linear resolution kicks in.
+const RatioScale = 1e4
+
+// Ratio records non-negative dimensionless ratios — the slowdown metric
+// of the load-sweep evaluation (observed completion time divided by the
+// unloaded ideal for that message size) — as fixed-point values in a
+// log-linear Histogram. The zero value is ready to use.
+type Ratio struct{ hist Histogram }
+
+// Observe records one ratio.
+func (r *Ratio) Observe(x float64) {
+	if x < 0 {
+		x = 0
+	}
+	r.hist.Record(int64(x*RatioScale + 0.5))
+}
+
+// Count reports the number of observed ratios.
+func (r *Ratio) Count() uint64 { return r.hist.Count() }
+
+// Mean reports the arithmetic mean ratio (0 when empty).
+func (r *Ratio) Mean() float64 { return r.hist.Mean() / RatioScale }
+
+// Max reports the largest observed ratio (0 when empty).
+func (r *Ratio) Max() float64 { return float64(r.hist.Max()) / RatioScale }
+
+// Quantile returns the ratio at quantile q in [0,1].
+func (r *Ratio) Quantile(q float64) float64 {
+	return float64(r.hist.Quantile(q)) / RatioScale
+}
+
+// P50 is shorthand for Quantile(0.50).
+func (r *Ratio) P50() float64 { return r.Quantile(0.50) }
+
+// P99 is shorthand for Quantile(0.99).
+func (r *Ratio) P99() float64 { return r.Quantile(0.99) }
+
+// Merge folds other into r.
+func (r *Ratio) Merge(other *Ratio) {
+	if other != nil {
+		r.hist.Merge(&other.hist)
+	}
+}
+
+// Reset clears all recorded state.
+func (r *Ratio) Reset() { r.hist.Reset() }
 
 // Counter is a monotonically accumulating event counter.
 type Counter struct {

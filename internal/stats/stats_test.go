@@ -61,6 +61,127 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantilePrecision is the regression test for the
+// bucketOf exponent off-by-one: values must normalize into
+// [2^subBucketBits, 2^(subBucketBits+1)) sub-buckets, bounding relative
+// quantile error to ~1/2^subBucketBits (0.8%) against exact sorted
+// samples. The buggy exponent halved the resolution to ~1.6%.
+func TestHistogramQuantilePrecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, dist := range []struct {
+		name string
+		gen  func() int64
+	}{
+		{"lognormal", func() int64 { return int64(math.Exp(rng.NormFloat64()*1.2 + 10)) }},
+		{"uniform-wide", func() int64 { return rng.Int63n(1 << 40) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(10) == 0 {
+				return 1<<20 + rng.Int63n(1<<20)
+			}
+			return 1000 + rng.Int63n(1000)
+		}},
+	} {
+		t.Run(dist.name, func(t *testing.T) {
+			var h Histogram
+			exact := make([]int64, 0, 100000)
+			for i := 0; i < 100000; i++ {
+				v := dist.gen()
+				h.Record(v)
+				exact = append(exact, v)
+			}
+			sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+			for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+				want := exact[int(math.Ceil(q*float64(len(exact))))-1]
+				got := h.Quantile(q)
+				rel := math.Abs(float64(got-want)) / float64(want)
+				if rel > 1.0/float64(int64(1)<<subBucketBits) {
+					t.Errorf("q=%v: got %d want %d (rel err %.4f > %.4f)",
+						q, got, want, rel, 1.0/float64(int64(1)<<subBucketBits))
+				}
+			}
+		})
+	}
+}
+
+// TestBucketKeyOrdered pins the property the quantile cache sorts by:
+// bucket keys compare in the same order as the values they cover.
+func TestBucketKeyOrdered(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return bucketOf(a) <= bucketOf(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileCacheInvalidation: quantiles stay correct when records,
+// merges and resets interleave with quantile reads.
+func TestQuantileCacheInvalidation(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	if h.P50() != 100 {
+		t.Fatalf("p50 = %d, want 100", h.P50())
+	}
+	h.Record(1_000_000) // must invalidate the cached bucket list
+	if got := h.Quantile(1); got != 1_000_000 {
+		t.Fatalf("after Record: p100 = %d, want 1000000", got)
+	}
+	var other Histogram
+	other.Record(5_000_000)
+	h.Merge(&other)
+	if got := h.Quantile(1); got != 5_000_000 {
+		t.Fatalf("after Merge: p100 = %d, want 5000000", got)
+	}
+	h.Reset()
+	if h.P99() != 0 {
+		t.Fatal("after Reset: quantile should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Count() != 0 || r.P99() != 0 {
+		t.Fatal("empty ratio should be zeros")
+	}
+	for i := 0; i < 99; i++ {
+		r.Observe(1.0)
+	}
+	r.Observe(250.0)
+	r.Observe(-3) // clamps to 0
+	if r.Count() != 101 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if p50 := r.P50(); math.Abs(p50-1.0) > 0.01 {
+		t.Fatalf("p50 = %v, want ~1.0", p50)
+	}
+	if p99 := r.Quantile(0.999); math.Abs(p99-250)/250 > 0.01 {
+		t.Fatalf("p99.9 = %v, want ~250", p99)
+	}
+	if max := r.Max(); max != 250 {
+		t.Fatalf("max = %v, want 250", max)
+	}
+	var o Ratio
+	o.Observe(500)
+	r.Merge(&o)
+	r.Merge(nil) // must not panic
+	if max := r.Max(); max != 500 {
+		t.Fatalf("merged max = %v, want 500", max)
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	var a, b Histogram
 	for i := int64(1); i <= 100; i++ {
@@ -178,5 +299,43 @@ func TestHistogramString(t *testing.T) {
 	h.Record(100)
 	if h.String() == "" {
 		t.Fatal("empty summary")
+	}
+}
+
+// BenchmarkQuantile measures the hot reporting path: a p50+p99 pair on
+// a populated histogram. With the cached bucket list this is two cheap
+// scans and zero allocations per pair (the pre-cache version re-sorted
+// and re-allocated on every call).
+func BenchmarkQuantile(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	for i := 0; i < 100000; i++ {
+		h.Record(int64(math.Exp(rng.NormFloat64()*1.2 + 10)))
+	}
+	h.P50() // warm the cache once, as a reporting loop would
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.P50() > h.P99() {
+			b.Fatal("quantiles inverted")
+		}
+	}
+}
+
+// BenchmarkQuantileInvalidated measures the worst case: every quantile
+// pair preceded by a record, so the cache rebuilds each iteration.
+func BenchmarkQuantileInvalidated(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	for i := 0; i < 100000; i++ {
+		h.Record(int64(math.Exp(rng.NormFloat64()*1.2 + 10)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%100000 + 1))
+		if h.P50() > h.P99() {
+			b.Fatal("quantiles inverted")
+		}
 	}
 }

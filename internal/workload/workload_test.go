@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smt/internal/sim"
+)
+
+func TestFixedDist(t *testing.T) {
+	f := Fixed(4096)
+	if f.Name() != "fixed4096" || f.Mean() != 4096 {
+		t.Fatalf("fixed metadata wrong: %q mean=%v", f.Name(), f.Mean())
+	}
+	if got := f.Sample(nil); got != 4096 {
+		t.Fatalf("sample = %d", got)
+	}
+	if s := f.Sizes(); len(s) != 1 || s[0] != 4096 {
+		t.Fatalf("sizes = %v", s)
+	}
+}
+
+func TestMixNormalizesAndSorts(t *testing.T) {
+	m := NewMix("m", []MixEntry{{Size: 1000, Weight: 3}, {Size: 10, Weight: 1}})
+	if s := m.Sizes(); len(s) != 2 || s[0] != 10 || s[1] != 1000 {
+		t.Fatalf("sizes not ascending: %v", s)
+	}
+	want := (10.0*1 + 1000.0*3) / 4
+	if math.Abs(m.Mean()-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", m.Mean(), want)
+	}
+}
+
+func TestMixSampleFrequencies(t *testing.T) {
+	m := WebSearch()
+	rng := rand.New(rand.NewSource(9))
+	const n = 200000
+	freq := map[int]int{}
+	var sum float64
+	for i := 0; i < n; i++ {
+		s := m.Sample(rng)
+		freq[s]++
+		sum += float64(s)
+	}
+	if len(freq) != len(m.Sizes()) {
+		t.Fatalf("sampled %d distinct sizes, support has %d", len(freq), len(m.Sizes()))
+	}
+	if rel := math.Abs(sum/n-m.Mean()) / m.Mean(); rel > 0.02 {
+		t.Fatalf("empirical mean %v vs declared %v (rel %v)", sum/n, m.Mean(), rel)
+	}
+	// The heavy tail carries most of the bytes: the largest size alone
+	// must account for over half the total volume.
+	top := m.Sizes()[len(m.Sizes())-1]
+	if tailBytes := float64(freq[top]) * float64(top); tailBytes < 0.5*sum {
+		t.Errorf("largest size carries %.0f of %.0f bytes; mix is not heavy-tailed", tailBytes, sum)
+	}
+}
+
+func TestMixPanicsOnBadInput(t *testing.T) {
+	for name, entries := range map[string][]MixEntry{
+		"empty":     {},
+		"zeroSize":  {{Size: 0, Weight: 1}},
+		"negWeight": {{Size: 10, Weight: -1}},
+		"dup":       {{Size: 10, Weight: 1}, {Size: 10, Weight: 2}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("NewMix should panic")
+				}
+			}()
+			NewMix("bad", entries)
+		})
+	}
+}
+
+// echoWorld simulates a trivial service: every request completes after
+// a fixed delay proportional to its size.
+func runEchoOpenLoop(t *testing.T, seed int64, rate float64) *OpenLoop {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	var gen *OpenLoop
+	gen = NewOpenLoop(eng, WebSearch(), 4, 8, rate, func(client, stream int, reqID uint64, size int) {
+		if client < 0 || client >= 4 || stream < 0 || stream >= 8 {
+			t.Fatalf("issue out of range: client=%d stream=%d", client, stream)
+		}
+		delay := sim.Time(1000 + size) // 1µs + 1ns/byte
+		eng.After(delay, func() { gen.Done(reqID) })
+	})
+	gen.Ideal = map[int]float64{}
+	for _, s := range WebSearch().Sizes() {
+		gen.Ideal[s] = float64(1000 + s)
+	}
+	warm := 1 * sim.Millisecond
+	stop := 11 * sim.Millisecond
+	gen.Start(warm, stop)
+	eng.RunUntil(stop)
+	return gen
+}
+
+func TestOpenLoopPoissonRate(t *testing.T) {
+	const rate = 200000 // 200k/s over a 10ms window -> ~2000 arrivals
+	gen := runEchoOpenLoop(t, 5, rate)
+	if gen.Issued == 0 || gen.Completed == 0 {
+		t.Fatalf("no load generated: issued=%d completed=%d", gen.Issued, gen.Completed)
+	}
+	want := rate * 0.010
+	if math.Abs(float64(gen.Issued)-want)/want > 0.10 {
+		t.Errorf("issued %d arrivals in 10ms at %v/s, want ~%v", gen.Issued, rate, want)
+	}
+	// Every in-window request completes within 1µs+64KB ns, so nearly
+	// all issued requests complete in-window.
+	if gen.Completed < gen.Issued*9/10 {
+		t.Errorf("completed %d of %d issued", gen.Completed, gen.Issued)
+	}
+	// Both counters share the [warm, stop) issue boundary, so the open
+	// loop can never complete more than it offered.
+	if gen.Completed > gen.Issued || gen.CompletedBytes > gen.IssuedBytes {
+		t.Errorf("completions (%d, %dB) exceed arrivals (%d, %dB)",
+			gen.Completed, gen.CompletedBytes, gen.Issued, gen.IssuedBytes)
+	}
+	if gen.Latency.Count() != gen.Completed || gen.Slowdown.Count() != gen.Completed {
+		t.Errorf("latency/slowdown counts (%d/%d) diverge from completions (%d)",
+			gen.Latency.Count(), gen.Slowdown.Count(), gen.Completed)
+	}
+	// Delay equals the declared ideal exactly, so every slowdown is 1.
+	if p99 := gen.Slowdown.P99(); math.Abs(p99-1) > 0.01 {
+		t.Errorf("p99 slowdown = %v, want ~1.0", p99)
+	}
+}
+
+func TestOpenLoopDeterminism(t *testing.T) {
+	a := runEchoOpenLoop(t, 7, 100000)
+	b := runEchoOpenLoop(t, 7, 100000)
+	if a.Issued != b.Issued || a.Completed != b.Completed ||
+		a.IssuedBytes != b.IssuedBytes || a.CompletedBytes != b.CompletedBytes {
+		t.Fatalf("same-seed runs diverged: %+v vs %+v",
+			[4]uint64{a.Issued, a.Completed, a.IssuedBytes, a.CompletedBytes},
+			[4]uint64{b.Issued, b.Completed, b.IssuedBytes, b.CompletedBytes})
+	}
+	if a.Latency.String() != b.Latency.String() {
+		t.Fatalf("latency summaries diverged:\n%s\n%s", a.Latency.String(), b.Latency.String())
+	}
+	c := runEchoOpenLoop(t, 8, 100000)
+	if a.Issued == c.Issued && a.Latency.String() == c.Latency.String() {
+		t.Error("different seeds produced identical runs; RNG not in the loop")
+	}
+}
+
+func TestOpenLoopIgnoresStragglers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var gen *OpenLoop
+	done := map[uint64]func(){}
+	gen = NewOpenLoop(eng, Fixed(100), 1, 1, 1e6, func(client, stream int, reqID uint64, size int) {
+		done[reqID] = func() { gen.Done(reqID) }
+	})
+	gen.Start(0, 1*sim.Millisecond)
+	eng.RunUntil(2 * sim.Millisecond) // run past stop; nothing completed yet
+	if gen.Completed != 0 {
+		t.Fatalf("completions recorded with no Done calls: %d", gen.Completed)
+	}
+	for _, fn := range done {
+		fn() // all completions arrive after the window
+	}
+	if gen.Completed != 0 || gen.Latency.Count() != 0 {
+		t.Fatalf("post-window completions were recorded: %d", gen.Completed)
+	}
+	if gen.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after all Done calls", gen.Outstanding())
+	}
+	// Duplicate Done must be a no-op, not a panic.
+	gen.Done(0)
+}

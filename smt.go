@@ -20,7 +20,8 @@
 // Everything underneath lives in internal/: the discrete-event engine,
 // the host/NIC/network models, the Homa engine, the TCP/kTLS/TCPLS
 // baselines, and one experiment runner per table/figure of the paper
-// (plus the fabric-scale incast and multiclient experiments).
+// (plus the fabric-scale incast, multiclient and loadsweep
+// experiments).
 package smt
 
 import (
@@ -29,7 +30,9 @@ import (
 	"smt/internal/experiments"
 	"smt/internal/homa"
 	"smt/internal/netsim"
+	"smt/internal/sim"
 	"smt/internal/tlsrec"
+	"smt/internal/workload"
 )
 
 // Re-exported core types: see internal/core for full documentation.
@@ -55,7 +58,28 @@ type (
 	Topology = netsim.Topology
 	// SwitchConfig models the output-queued switch of an N-host fabric.
 	SwitchConfig = netsim.SwitchConfig
+	// Engine is the deterministic discrete-event executor a World runs on.
+	Engine = sim.Engine
+	// Dist is a message-size distribution for open-loop load generation.
+	Dist = workload.Dist
+	// OpenLoop drives deterministic Poisson arrivals at a fixed offered
+	// rate and records latency and slowdown (the loadsweep methodology).
+	OpenLoop = workload.OpenLoop
 )
+
+// WebSearchMix returns the heavy-tailed message-size mix the loadsweep
+// experiment drives (mostly small messages; the largest carry most of
+// the bytes).
+func WebSearchMix() Dist { return workload.WebSearch() }
+
+// NewOpenLoop creates an open-loop generator on a World's engine:
+// Poisson arrivals at rate requests/second drawn from dist, spread
+// round-robin over clients × streams via issue. See
+// internal/workload.OpenLoop for the measurement surface.
+func NewOpenLoop(eng *Engine, dist Dist, clients, streams int, rate float64,
+	issue func(client, stream int, reqID uint64, size int)) *OpenLoop {
+	return workload.NewOpenLoop(eng, dist, clients, streams, rate, issue)
+}
 
 // DefaultAllocation is the paper's 48-bit message ID + 16-bit record
 // index split.
