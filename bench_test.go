@@ -15,6 +15,15 @@ import (
 	"smt/internal/ycsb"
 )
 
+// must unwraps a (rows, error) driver result; benchmarks fail loudly on
+// a wiring error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // BenchmarkTable1Properties regenerates Table 1 (design-space matrix).
 func BenchmarkTable1Properties(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -73,7 +82,7 @@ func BenchmarkFig6UnloadedRTT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, size := range sizes {
 			for _, sys := range experiments.Fig6Systems() {
-				r := experiments.MeasureRTT(sys, size, 0, false, 42)
+				r := must(experiments.MeasureRTT(sys, size, 0, false, 42))
 				if i == 0 {
 					b.Logf("%-8s %6dB RTT=%v", r.System, r.Size, r.MeanRTT)
 				}
@@ -88,7 +97,7 @@ func BenchmarkFig7Throughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, size := range experiments.Fig7Sizes {
 			for _, sys := range experiments.Fig6Systems() {
-				r := experiments.MeasureThroughput(sys, size, 150, 0, 0, 9)
+				r := must(experiments.MeasureThroughput(sys, size, 150, 0, 0, 9))
 				if i == 0 {
 					b.Logf("%-8s %6dB c=150: %.3fM RPC/s", r.System, r.Size, r.RPCsPerSec/1e6)
 				}
@@ -103,7 +112,7 @@ func BenchmarkFig8Redis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, v := range []int{64, 1024, 4096} {
 			for _, sys := range experiments.Fig8Systems() {
-				r := experiments.MeasureRedis(sys, ycsb.WorkloadB, v, 64, 99)
+				r := must(experiments.MeasureRedis(sys, ycsb.WorkloadB, v, 64, 99))
 				if i == 0 {
 					b.Logf("%-8s YCSB-B v=%4d: %.0f ops/s", r.System, r.Value, r.OpsPerSec)
 				}
@@ -117,7 +126,7 @@ func BenchmarkFig9NVMeoF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, d := range []int{1, 8} {
 			for _, sys := range experiments.Fig6Systems() {
-				r := experiments.MeasureNVMeoF(sys, d, 444)
+				r := must(experiments.MeasureNVMeoF(sys, d, 444))
 				if i == 0 {
 					b.Logf("%-8s iodepth=%d: p50=%.1fµs p99=%.1fµs", r.System, r.IODepth, r.P50Us, r.P99Us)
 				}
@@ -129,7 +138,7 @@ func BenchmarkFig9NVMeoF(b *testing.B) {
 // BenchmarkFig10TCPLS regenerates Figure 10.
 func BenchmarkFig10TCPLS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig10()
+		rows := must(experiments.Fig10())
 		if i == 0 {
 			for _, r := range rows {
 				b.Logf("%-8s %6dB RTT=%v", r.System, r.Size, r.MeanRTT)
@@ -141,7 +150,7 @@ func BenchmarkFig10TCPLS(b *testing.B) {
 // BenchmarkFig11TSO regenerates Figure 11.
 func BenchmarkFig11TSO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig11()
+		rows := must(experiments.Fig11())
 		if i == 0 {
 			for _, r := range rows {
 				b.Logf("%-16s %6dB RTT=%v", r.System, r.Size, r.MeanRTT)
@@ -171,7 +180,7 @@ func BenchmarkFig12KeyExchange(b *testing.B) {
 func BenchmarkIncast(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, sys := range experiments.FabricSystems() {
-			r := experiments.MeasureIncast(sys, 3, 65536, 9003)
+			r := must(experiments.MeasureIncast(sys, 3, 65536, 9003))
 			if i == 0 {
 				b.Logf("%-8s clients=3 64KB: p99=%.0fµs goodput=%.1fGbps drops=%d",
 					r.System, r.P99LatUs, r.GoodputGbps, r.SwitchDrops)
@@ -185,7 +194,7 @@ func BenchmarkIncast(b *testing.B) {
 func BenchmarkMulticlient(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, sys := range experiments.FabricSystems() {
-			r := experiments.MeasureMulticlient(sys, 4, 8004)
+			r := must(experiments.MeasureMulticlient(sys, 4, 8004))
 			if i == 0 {
 				b.Logf("%-8s clients=4: %.2fM RPC/s aggregate, server CPU %.0f%%",
 					r.System, r.RPCsPerSec/1e6, r.ServerCPU*100)
@@ -201,7 +210,7 @@ func BenchmarkLoadSweep(b *testing.B) {
 	top := experiments.LoadSweepLoads[len(experiments.LoadSweepLoads)-1]
 	for i := 0; i < b.N; i++ {
 		for _, sys := range experiments.FabricSystems() {
-			r := experiments.MeasureLoadSweep(sys, top, experiments.LoadSweepSeed(top))
+			r := must(experiments.MeasureLoadSweep(sys, top, experiments.LoadSweepSeed(top)))
 			if i == 0 {
 				b.Logf("%-8s load=%.0f%%: slowdown p50=%.1f p99=%.1f goodput=%.1fGbps",
 					r.System, top*100, r.P50Slowdown, r.P99Slowdown, r.GoodputGbps)
@@ -213,7 +222,7 @@ func BenchmarkLoadSweep(b *testing.B) {
 // BenchmarkCPUUsage regenerates the §5.2 fixed-rate CPU comparison.
 func BenchmarkCPUUsage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.CPUUsage(1.2e6)
+		rows := must(experiments.CPUUsage(1.2e6))
 		if i == 0 {
 			for _, r := range rows {
 				b.Logf("%-8s rate=%.2fM cli=%.1f%% srv=%.1f%%", r.System, r.RPCsPerSec/1e6, r.ClientCPU*100, r.ServerCPU*100)

@@ -4,12 +4,19 @@
 // fig7, fig7mtu, cpuusage, fig8, fig9, fig10, fig11, fig12, incast,
 // multiclient, loadsweep) or `all`.
 //
+// The lineup-driven tables (fig6, fig7, fig9, incast, multiclient,
+// loadsweep) sweep the default six-stack lineup; -stacks filters or
+// extends it with any registered stacks:
+//
+//	smtbench -stacks TCP,TCPLS,SMT-hw loadsweep
+//
 // It runs the typed serial drivers directly; for parallel sweeps and
 // machine-readable JSON artifacts use cmd/smtexp, which runs the same
 // measurements through the experiment registry.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -18,24 +25,42 @@ import (
 )
 
 func main() {
-	which := "all"
-	if len(os.Args) > 1 {
-		which = os.Args[1]
-	}
-	run := func(name string, fn func()) {
-		if which == "all" || which == name {
-			fmt.Printf("\n==== %s ====\n", name)
-			fn()
+	stacks := flag.String("stacks", "", "comma-separated stack lineup for the lineup-driven tables (default: the six-system lineup; see smtexp -list)")
+	flag.Parse()
+
+	if *stacks != "" {
+		specs, err := experiments.ParseStacks(*stacks)
+		if err == nil {
+			err = experiments.SetLineup(specs)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smtbench:", err)
+			os.Exit(1)
 		}
 	}
 
-	run("table1", func() {
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	run := func(name string, fn func() error) {
+		if which == "all" || which == name {
+			fmt.Printf("\n==== %s ====\n", name)
+			if err := fn(); err != nil {
+				fmt.Fprintln(os.Stderr, "smtbench:", name+":", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	run("table1", func() error {
 		for _, r := range experiments.Table1() {
 			fmt.Printf("%-16s enc=%-8s abs=%-6s offload=%-8s proto=%-4s par=%s\n",
 				r.System, r.Encryption, r.Abstraction, r.Offload, r.Protocol, r.Parallelism)
 		}
+		return nil
 	})
-	run("table2", func() {
+	run("table2", func() error {
 		for _, r := range handshake.MeasureTable2() {
 			rsa := ""
 			if r.PaperRSAUs > 0 {
@@ -43,82 +68,141 @@ func main() {
 			}
 			fmt.Printf("%-24s paper=%8.1fµs measured=%8.1fµs%s\n", r.Name, r.PaperUs, r.MeasuredUs, rsa)
 		}
+		return nil
 	})
-	run("fig2", func() {
+	run("fig2", func() error {
 		for _, r := range experiments.Fig2() {
 			fmt.Printf("%-24s decrypted=%-5v corrupted=%d resyncs=%d\n", r.Scenario, r.Decrypted, r.Corrupted, r.Resyncs)
 		}
+		return nil
 	})
-	run("fig5", func() {
+	run("fig5", func() error {
 		for _, r := range experiments.Fig5() {
 			fmt.Printf("sizeBits=%2d idBits=%2d maxMsgs=%.3g maxSize=%.1f MB (1.5K) / %.0f MB (16K)\n",
 				r.SizeBits, r.IDBits, r.MaxMessages, r.MaxMsgSizeMB, r.MaxMsgSize16KB)
 		}
+		return nil
 	})
-	run("fig6", func() {
-		for _, r := range experiments.Fig6() {
+	run("fig6", func() error {
+		rows, err := experiments.Fig6()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-8s %6dB mean=%v p50=%v n=%d\n", r.System, r.Size, r.MeanRTT, r.P50RTT, r.N)
 		}
+		return nil
 	})
-	run("fig7", func() {
-		for _, r := range experiments.Fig7() {
+	run("fig7", func() error {
+		rows, err := experiments.Fig7()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-8s %6dB c=%-3d %.3fM RPC/s (lat %.1fµs)\n",
 				r.System, r.Size, r.Concurrency, r.RPCsPerSec/1e6, r.MeanLatUs)
 		}
+		return nil
 	})
-	run("fig7mtu", func() {
-		for _, r := range experiments.Fig7JumboMTU() {
+	run("fig7mtu", func() error {
+		rows, err := experiments.Fig7JumboMTU()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-12s %6dB c=%-3d %.3fM RPC/s\n", r.System, r.Size, r.Concurrency, r.RPCsPerSec/1e6)
 		}
+		return nil
 	})
-	run("cpuusage", func() {
-		for _, r := range experiments.CPUUsage(1.2e6) {
+	run("cpuusage", func() error {
+		rows, err := experiments.CPUUsage(1.2e6)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-8s rate=%.2fM cli=%.1f%% srv=%.1f%%\n",
 				r.System, r.RPCsPerSec/1e6, r.ClientCPU*100, r.ServerCPU*100)
 		}
+		return nil
 	})
-	run("fig8", func() {
-		for _, r := range experiments.Fig8() {
+	run("fig8", func() error {
+		rows, err := experiments.Fig8()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-8s %s v=%-5d %.0f ops/s\n", r.System, r.Workload, r.Value, r.OpsPerSec)
 		}
+		return nil
 	})
-	run("fig9", func() {
-		for _, r := range experiments.Fig9() {
+	run("fig9", func() error {
+		rows, err := experiments.Fig9()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-8s iodepth=%d p50=%.1fµs p99=%.1fµs iops=%.0f\n",
 				r.System, r.IODepth, r.P50Us, r.P99Us, r.IOPS)
 		}
+		return nil
 	})
-	run("fig10", func() {
-		for _, r := range experiments.Fig10() {
+	run("fig10", func() error {
+		rows, err := experiments.Fig10()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-8s %6dB RTT=%v\n", r.System, r.Size, r.MeanRTT)
 		}
+		return nil
 	})
-	run("fig11", func() {
-		for _, r := range experiments.Fig11() {
+	run("fig11", func() error {
+		rows, err := experiments.Fig11()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-16s %6dB RTT=%v\n", r.System, r.Size, r.MeanRTT)
 		}
+		return nil
 	})
-	run("fig12", func() {
+	run("fig12", func() error {
 		for _, r := range experiments.Fig12() {
 			fmt.Printf("%-10s %6dB %.0fµs\n", r.Mode, r.Size, r.TimeUs)
 		}
+		return nil
 	})
-	run("incast", func() {
-		for _, r := range experiments.Incast() {
+	run("incast", func() error {
+		rows, err := experiments.Incast()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-8s M=%d %6dB p50=%8.1fµs p99=%10.1fµs goodput=%6.2fGbps drops=%d\n",
 				r.System, r.Clients, r.Size, r.P50LatUs, r.P99LatUs, r.GoodputGbps, r.SwitchDrops)
 		}
+		return nil
 	})
-	run("multiclient", func() {
-		for _, r := range experiments.Multiclient() {
+	run("multiclient", func() error {
+		rows, err := experiments.Multiclient()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-8s M=%d %.3fM RPC/s (%.0f/client) lat=%6.1fµs srvCPU=%.0f%%\n",
 				r.System, r.Clients, r.RPCsPerSec/1e6, r.PerClientRPCs, r.MeanLatUs, r.ServerCPU*100)
 		}
+		return nil
 	})
-	run("loadsweep", func() {
-		for _, r := range experiments.LoadSweep() {
+	run("loadsweep", func() error {
+		rows, err := experiments.LoadSweep()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-8s load=%2.0f%% offered=%5.1fGbps goodput=%5.1fGbps slowdown p50=%7.2f p99=%8.2f drops=%d\n",
 				r.System, r.Load*100, r.OfferedGbps, r.GoodputGbps, r.P50Slowdown, r.P99Slowdown, r.SwitchDrops)
 		}
+		return nil
 	})
 }

@@ -5,11 +5,20 @@
 //
 // Usage:
 //
-//	smtexp -list                     # what is registered, with point counts
+//	smtexp -list                     # experiments + registered stacks
 //	smtexp -run fig6                 # one experiment, human-readable rows
 //	smtexp -run fig6,fig7 -json o.json -workers 8
 //	smtexp -run loadsweep -json s.json  # open-loop slowdown-vs-load sweep
 //	smtexp -run all -json all.json   # the full evaluation
+//	smtexp -stacks TCP,TCPLS,SMT-hw -run loadsweep
+//
+// -stacks selects the lineup the lineup-driven experiments (fig6, fig7,
+// fig9, incast, multiclient, loadsweep) sweep: any comma-separated
+// subset of the registered stacks (see -list), defaulting to the
+// six-system lineup of the §5 figures. Each stack is a transport ×
+// record-layer composition from the StackSpec registry, so TCPLS and
+// user-space TLS run on the switched-fabric experiments exactly like
+// the default six.
 //
 // Points of one experiment fan out across -workers goroutines (default
 // GOMAXPROCS); each point is an independent (configuration, seed) world,
@@ -31,13 +40,25 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list registered experiments and exit")
+		list    = flag.Bool("list", false, "list registered experiments and stacks, then exit")
 		run     = flag.String("run", "", "comma-separated experiment names to run, or 'all'")
+		stacks  = flag.String("stacks", "", "comma-separated stack lineup for the lineup-driven experiments (default: the six-system lineup)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent points")
 		jsonOut = flag.String("json", "", "write a JSON artifact to this path")
 		quiet   = flag.Bool("quiet", false, "suppress per-point rows; print summaries only")
 	)
 	flag.Parse()
+
+	if *stacks != "" {
+		specs, err := experiments.ParseStacks(*stacks)
+		if err == nil {
+			err = experiments.SetLineup(specs)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smtexp:", err)
+			os.Exit(1)
+		}
+	}
 
 	switch {
 	case *list:
@@ -57,6 +78,19 @@ func listExperiments() {
 	fmt.Printf("%-12s %6s  %s\n", "NAME", "POINTS", "DESCRIPTION")
 	for _, e := range experiments.All() {
 		fmt.Printf("%-12s %6d  %s\n", e.Name(), len(e.Points()), e.Describe())
+	}
+	fmt.Printf("\nstacks (transport × record layer; compose a lineup with -stacks):\n")
+	fmt.Printf("%-10s %-9s %-9s %s\n", "STACK", "TRANSPORT", "RECORD", "LINEUP")
+	inLineup := map[string]bool{}
+	for _, s := range experiments.DefaultLineup() {
+		inLineup[s.Name] = true
+	}
+	for _, s := range experiments.Stacks() {
+		mark := ""
+		if inLineup[s.Name] {
+			mark = "default"
+		}
+		fmt.Printf("%-10s %-9s %-9s %s\n", s.Name, s.Transport, s.Record, mark)
 	}
 }
 

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"smt/internal/experiments"
 	"smt/internal/ycsb"
@@ -18,10 +19,13 @@ func main() {
 		clients   = 64
 	)
 	fmt.Printf("YCSB-B, %d B values, %d closed-loop clients:\n\n", valueSize, clients)
-	for i, sys := range experiments.Fig8Systems() {
-		r := experiments.MeasureRedis(sys, ycsb.WorkloadB, valueSize, clients, 2024)
+	for _, sys := range experiments.Fig8Systems() {
+		r, err := experiments.MeasureRedis(sys, ycsb.WorkloadB, valueSize, clients, 2024)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvcache:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("  %-8s %8.0f ops/s\n", r.System, r.OpsPerSec)
-		_ = i
 	}
 	fmt.Println("\nSMT outperforms the TLS-over-TCP variants because the server's")
 	fmt.Println("single thread parses requests, touches the database and encrypts")

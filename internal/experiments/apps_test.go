@@ -20,7 +20,7 @@ func testFig8Shape(t *testing.T) {
 	ForEach(len(rows), 0, func(i int) {
 		// Fig8Systems is rebuilt per point: redisSystem carries
 		// per-setup socket state and must not be shared.
-		rows[i] = MeasureRedis(Fig8Systems()[i%nsys], ycsb.WorkloadB, values[i/nsys], 64, 99)
+		rows[i] = must(MeasureRedis(Fig8Systems()[i%nsys], ycsb.WorkloadB, values[i/nsys], 64, 99))
 	})
 	get := func(valueSize int) map[string]float64 {
 		out := map[string]float64{}
@@ -64,7 +64,7 @@ func testFig9Shape(t *testing.T) {
 	nsys := len(Fig6Systems())
 	flat := make([]Fig9Row, len(depths)*nsys)
 	ForEach(len(flat), 0, func(i int) {
-		flat[i] = MeasureNVMeoF(Fig6Systems()[i%nsys], depths[i/nsys], 12)
+		flat[i] = must(MeasureNVMeoF(Fig6Systems()[i%nsys], depths[i/nsys], 12))
 	})
 	rows := map[string]map[int]Fig9Row{}
 	for _, r := range flat {
@@ -104,7 +104,7 @@ func testFig10Shape(t *testing.T) {
 	mk := []func() System{tcplsSystem, func() System { return smtSystem(false) }, func() System { return smtSystem(true) }}
 	rows := make([]RTTRow, len(sizes)*len(mk))
 	ForEach(len(rows), 0, func(i int) {
-		rows[i] = MeasureRTT(mk[i%len(mk)](), sizes[i/len(mk)], 0, false, 3)
+		rows[i] = must(MeasureRTT(mk[i%len(mk)](), sizes[i/len(mk)], 0, false, 3))
 	})
 	for si, size := range sizes {
 		tls := rows[si*len(mk)]

@@ -106,13 +106,16 @@ func newFabricLoops(w *World, nClients int, issue func(client, stream int, reqID
 // responses) at one server behind the shallow-buffered switch, so the
 // server's egress port is the shared bottleneck. Tail latency and
 // goodput collapse are the outputs.
-func MeasureIncast(sys FabricSystem, clients, size int, seed int64) IncastRow {
+func MeasureIncast(sys FabricSystem, clients, size int, seed int64) (IncastRow, error) {
 	w := NewFabricWorld(seed, incastTopology(clients))
 	cl := w.ClientHosts()
 	var loops []*rpc.ClosedLoop
-	issue := sys.Setup(w, cl, w.Server,
+	issue, err := sys.Setup(w, cl, w.Server,
 		FabricConfig{StreamsPerClient: IncastStreams, MTU: mtuOrDefault(0)},
 		func(client int, reqID uint64) { loops[client].Done(reqID) })
+	if err != nil {
+		return IncastRow{}, err
+	}
 	loops = newFabricLoops(w, len(cl), issue, size, rpc.MinSize)
 	lat, completed, window := runFabricLoops(w, loops, IncastStreams)
 	return IncastRow{
@@ -126,20 +129,24 @@ func MeasureIncast(sys FabricSystem, clients, size int, seed int64) IncastRow {
 		P99LatUs:    float64(lat.P99()) / 1e3,
 		SwitchDrops: w.Net.SwitchDrops.N,
 		N:           completed,
-	}
+	}, nil
 }
 
-// Incast reproduces the fan-in sweep across the six-system lineup.
-func Incast() []IncastRow {
+// Incast reproduces the fan-in sweep across the active lineup.
+func Incast() ([]IncastRow, error) {
 	var rows []IncastRow
 	for _, m := range IncastClients {
 		for _, size := range IncastSizes {
 			for _, sys := range FabricSystems() {
-				rows = append(rows, MeasureIncast(sys, m, size, 9000+int64(m)))
+				r, err := MeasureIncast(sys, m, size, 9000+int64(m))
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, r)
 			}
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // MulticlientRow is one (system, clients) scaling point.
@@ -169,13 +176,16 @@ func multiclientTopology(clients int) netsim.Topology {
 // MeasureMulticlient runs one scaling point: `clients` hosts each drive
 // MulticlientStreams closed-loop echo streams of MulticlientSize bytes
 // at one server, reporting aggregate throughput and server CPU.
-func MeasureMulticlient(sys FabricSystem, clients int, seed int64) MulticlientRow {
+func MeasureMulticlient(sys FabricSystem, clients int, seed int64) (MulticlientRow, error) {
 	w := NewFabricWorld(seed, multiclientTopology(clients))
 	cl := w.ClientHosts()
 	var loops []*rpc.ClosedLoop
-	issue := sys.Setup(w, cl, w.Server,
+	issue, err := sys.Setup(w, cl, w.Server,
 		FabricConfig{StreamsPerClient: MulticlientStreams, MTU: mtuOrDefault(0)},
 		func(client int, reqID uint64) { loops[client].Done(reqID) })
+	if err != nil {
+		return MulticlientRow{}, err
+	}
 	loops = newFabricLoops(w, len(cl), issue, MulticlientSize, MulticlientSize)
 
 	// Track server CPU over the measurement window only (as fig7 does).
@@ -198,16 +208,20 @@ func MeasureMulticlient(sys FabricSystem, clients int, seed int64) MulticlientRo
 		P99LatUs:      float64(lat.P99()) / 1e3,
 		ServerCPU:     srvBusy,
 		N:             completed,
-	}
+	}, nil
 }
 
 // Multiclient reproduces the client-scaling sweep across the lineup.
-func Multiclient() []MulticlientRow {
+func Multiclient() ([]MulticlientRow, error) {
 	var rows []MulticlientRow
 	for _, m := range MulticlientCounts {
 		for _, sys := range FabricSystems() {
-			rows = append(rows, MeasureMulticlient(sys, m, 8000+int64(m)))
+			r, err := MeasureMulticlient(sys, m, 8000+int64(m))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
 		}
 	}
-	return rows
+	return rows, nil
 }

@@ -81,7 +81,7 @@ func TestGoldenTwoHostRTT(t *testing.T) {
 		{"SMT-hw", 5, 1024, 20504},
 	}
 	for _, g := range golden {
-		r := MeasureRTT(Fig6Systems()[g.index], g.size, 0, false, 42)
+		r := must(MeasureRTT(Fig6Systems()[g.index], g.size, 0, false, 42))
 		if r.System != g.system {
 			t.Fatalf("lineup moved: index %d is %q, want %q", g.index, r.System, g.system)
 		}
@@ -98,7 +98,7 @@ func incastByName(t *testing.T, clients, size int, seed int64) map[string]Incast
 	var mu sync.Mutex
 	rows := map[string]IncastRow{}
 	ForEach(len(FabricSystems()), 0, func(i int) {
-		r := MeasureIncast(FabricSystems()[i], clients, size, seed)
+		r := must(MeasureIncast(FabricSystems()[i], clients, size, seed))
 		mu.Lock()
 		rows[r.System] = r
 		mu.Unlock()
@@ -169,7 +169,7 @@ func TestMulticlientScaling(t *testing.T) {
 		if i%2 == 1 {
 			clients, seed = 8, 8008
 		}
-		r := MeasureMulticlient(sys, clients, seed)
+		r := must(MeasureMulticlient(sys, clients, seed))
 		mu.Lock()
 		p := rows[sys.Name]
 		if clients == 1 {

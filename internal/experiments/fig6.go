@@ -19,10 +19,13 @@ type RTTRow struct {
 
 // MeasureRTT runs a single-stream closed loop (no concurrent RPCs — the
 // §5.1 methodology) for one system at one size and returns the mean RTT.
-func MeasureRTT(sys System, size, mtu int, noTSO bool, seed int64) RTTRow {
+func MeasureRTT(sys System, size, mtu int, noTSO bool, seed int64) (RTTRow, error) {
 	w := NewWorld(seed)
 	var cl *rpc.ClosedLoop
-	issue := sys.Setup(w, 1, mtuOrDefault(mtu), noTSO, func(id uint64) { cl.Done(id) })
+	issue, err := sys.Setup(w, 1, mtuOrDefault(mtu), noTSO, func(id uint64) { cl.Done(id) })
+	if err != nil {
+		return RTTRow{}, err
+	}
 	cl = rpc.NewClosedLoop(w.Eng, func(stream int, reqID uint64) {
 		issue(stream, reqID, size, size)
 	})
@@ -43,17 +46,21 @@ func MeasureRTT(sys System, size, mtu int, noTSO bool, seed int64) RTTRow {
 		MeanRTT: sim.Time(cl.Latency.Mean()),
 		P50RTT:  sim.Time(cl.Latency.P50()),
 		N:       cl.Latency.Count(),
-	}
+	}, nil
 }
 
-// Fig6 reproduces Figure 6: unloaded RTT across RPC sizes for TCP,
-// kTLS-sw/hw, Homa, and SMT-sw/hw.
-func Fig6() []RTTRow {
+// Fig6 reproduces Figure 6: unloaded RTT across RPC sizes for the
+// active lineup (default: TCP, kTLS-sw/hw, Homa, SMT-sw/hw).
+func Fig6() ([]RTTRow, error) {
 	var rows []RTTRow
 	for _, size := range Fig6Sizes {
 		for _, sys := range Fig6Systems() {
-			rows = append(rows, MeasureRTT(sys, size, 0, false, 42))
+			r, err := MeasureRTT(sys, size, 0, false, 42)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
 		}
 	}
-	return rows
+	return rows, nil
 }

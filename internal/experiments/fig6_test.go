@@ -32,7 +32,7 @@ func testFig6Shape(t *testing.T) {
 	rows := make([]RTTRow, len(sizes)*nsys)
 	ForEach(len(rows), 0, func(i int) {
 		size := sizes[i/nsys]
-		rows[i] = MeasureRTT(Fig6Systems()[i%nsys], size, 0, false, 7)
+		rows[i] = must(MeasureRTT(Fig6Systems()[i%nsys], size, 0, false, 7))
 	})
 	for _, r := range rows {
 		t.Logf("%-8s %6dB mean=%v n=%d", r.System, r.Size, r.MeanRTT, r.N)

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"smt/internal/ktls"
 	"smt/internal/rpc"
 	"smt/internal/sim"
 )
@@ -34,10 +33,13 @@ type TputRow struct {
 // MeasureThroughput runs `streams` concurrent closed-loop RPC streams of
 // one size (response size = request size) and reports the completion
 // rate. spacing, when non-zero, rate-caps each stream (§5.2 CPU test).
-func MeasureThroughput(sys System, size, streams, mtu int, spacing sim.Time, seed int64) TputRow {
+func MeasureThroughput(sys System, size, streams, mtu int, spacing sim.Time, seed int64) (TputRow, error) {
 	w := NewWorld(seed)
 	var cl *rpc.ClosedLoop
-	issue := sys.Setup(w, streams, mtuOrDefault(mtu), false, func(id uint64) { cl.Done(id) })
+	issue, err := sys.Setup(w, streams, mtuOrDefault(mtu), false, func(id uint64) { cl.Done(id) })
+	if err != nil {
+		return TputRow{}, err
+	}
 	cl = rpc.NewClosedLoop(w.Eng, func(stream int, reqID uint64) {
 		issue(stream, reqID, size, size)
 	})
@@ -73,32 +75,39 @@ func MeasureThroughput(sys System, size, streams, mtu int, spacing sim.Time, see
 		MeanLatUs:  cl.Latency.Mean() / 1e3,
 		ClientCPU:  cliBusy,
 		ServerCPU:  srvBusy,
-	}
+	}, nil
 }
 
 // Fig7 reproduces Figure 7: throughput over concurrency for three RPC
-// sizes across the six systems.
-func Fig7() []TputRow {
+// sizes across the active lineup.
+func Fig7() ([]TputRow, error) {
 	var rows []TputRow
 	for _, size := range Fig7Sizes {
 		for _, c := range Fig7Concurrency {
 			for _, sys := range Fig6Systems() {
-				rows = append(rows, MeasureThroughput(sys, size, c, 0, 0, 1000+int64(c)))
+				r, err := MeasureThroughput(sys, size, c, 0, 0, 1000+int64(c))
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, r)
 			}
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // Fig7JumboMTU reproduces the §5.2 "impact of a larger MTU" paragraph:
 // 8 KB RPCs at 50–150 concurrency with a 9 KB MTU, so one message fits a
 // single packet.
-func Fig7JumboMTU() []TputRow {
+func Fig7JumboMTU() ([]TputRow, error) {
 	var rows []TputRow
 	for _, c := range Fig7MTUConcurrency {
 		for _, mtu := range Fig7MTUs {
 			for _, sys := range []System{smtSystem(false), smtSystem(true)} {
-				r := MeasureThroughput(sys, 8192, c, mtu, 0, 2000+int64(c))
+				r, err := MeasureThroughput(sys, 8192, c, mtu, 0, 2000+int64(c))
+				if err != nil {
+					return nil, err
+				}
 				if mtu == 9000 {
 					r.System += "+9K"
 				}
@@ -106,21 +115,31 @@ func Fig7JumboMTU() []TputRow {
 			}
 		}
 	}
-	return rows
+	return rows, nil
 }
 
-// CPUUsageSystems is the §5.2 fixed-rate comparison lineup.
-func CPUUsageSystems() []System {
-	return []System{
-		ktlsSystem(ktls.ModeKTLSSW), ktlsSystem(ktls.ModeKTLSHW),
-		smtSystem(false), smtSystem(true),
+// CPUUsageLineup is the §5.2 fixed-rate comparison lineup as specs.
+func CPUUsageLineup() []StackSpec {
+	return []StackSpec{
+		mustStack("kTLS-sw"), mustStack("kTLS-hw"),
+		mustStack("SMT-sw"), mustStack("SMT-hw"),
 	}
+}
+
+// CPUUsageSystems is the CPUUsageLineup built for the two-host harness.
+func CPUUsageSystems() []System {
+	lineup := CPUUsageLineup()
+	systems := make([]System, len(lineup))
+	for i, spec := range lineup {
+		systems[i] = MustBuildSystem(spec)
+	}
+	return systems
 }
 
 // MeasureCPUUsage runs one system of the §5.2 CPU-usage comparison:
 // 1 KB RPCs rate-capped to targetRate req/s via per-stream spacing,
 // reporting busy fractions.
-func MeasureCPUUsage(sys System, targetRate float64) TputRow {
+func MeasureCPUUsage(sys System, targetRate float64) (TputRow, error) {
 	const streams = 150
 	spacing := sim.Time(float64(streams) / targetRate * 1e9)
 	return MeasureThroughput(sys, 1024, streams, 0, spacing, 77)
@@ -128,10 +147,14 @@ func MeasureCPUUsage(sys System, targetRate float64) TputRow {
 
 // CPUUsage reproduces the §5.2 CPU-usage comparison across the lineup.
 // The paper uses 1.2 M req/s.
-func CPUUsage(targetRate float64) []TputRow {
+func CPUUsage(targetRate float64) ([]TputRow, error) {
 	var rows []TputRow
 	for _, sys := range CPUUsageSystems() {
-		rows = append(rows, MeasureCPUUsage(sys, targetRate))
+		r, err := MeasureCPUUsage(sys, targetRate)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
 	}
-	return rows
+	return rows, nil
 }

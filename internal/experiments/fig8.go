@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"smt/internal/core"
 	"smt/internal/homa"
 	"smt/internal/ktls"
@@ -34,10 +36,11 @@ var (
 // redisSystem wires a kvstore server behind a transport. The server is
 // single-threaded (app thread 0 on the server host), exactly like Redis:
 // all request parsing, DB work, response building and the send-path
-// costs (including software crypto) run there.
+// costs (including software crypto) run there. Like FabricSystem it is
+// composed from a StackSpec — see BuildRedis.
 type redisSystem struct {
 	name  string
-	setup func(w *World, streams, valueSize int, done func(reqID uint64, resp []byte)) func(stream int, reqID uint64, req []byte)
+	setup func(w *World, streams, valueSize int, done func(reqID uint64, resp []byte)) (func(stream int, reqID uint64, req []byte), error)
 }
 
 // kvWrap embeds a request id ahead of the kvstore request.
@@ -60,8 +63,8 @@ type msgSock interface {
 	Port() uint16
 }
 
-func redisOverMsg(name string, mkSock func(w *World, port uint16, server bool) msgSock) redisSystem {
-	return redisSystem{name: name, setup: func(w *World, streams, valueSize int, done func(uint64, []byte)) func(int, uint64, []byte) {
+func redisOverMsg(name string, mkSock func(w *World, port uint16, server bool) msgSock, pair func(cli, srv msgSock) error) redisSystem {
+	return redisSystem{name: name, setup: func(w *World, streams, valueSize int, done func(uint64, []byte)) (func(int, uint64, []byte), error) {
 		store := kvstore.New(w.CM, fig8Keys, valueSize)
 		srv := mkSock(w, ServerPort, true)
 		srv.OnMessage(func(d homa.Delivery) {
@@ -85,14 +88,19 @@ func redisOverMsg(name string, mkSock func(w *World, port uint16, server bool) m
 				done(id, body)
 			}
 		})
+		if pair != nil {
+			if err := pair(cli, srv); err != nil {
+				return nil, fmt.Errorf("%s: pair sessions: %w", name, err)
+			}
+		}
 		return func(stream int, reqID uint64, req []byte) {
 			cli.Send(ServerAddr, ServerPort, kvWrap(reqID, req), stream%AppThreads)
-		}
+		}, nil
 	}}
 }
 
-func redisHoma() redisSystem {
-	return redisOverMsg("Homa", func(w *World, port uint16, server bool) msgSock {
+func redisHoma(name string) redisSystem {
+	return redisOverMsg(name, func(w *World, port uint16, server bool) msgSock {
 		cfg := homa.Config{Port: port}
 		if server {
 			cfg.AppThreads = []int{0}
@@ -102,54 +110,44 @@ func redisHoma() redisSystem {
 			host = w.Server
 		}
 		return homa.NewSocket(host, cfg, nil)
+	}, nil)
+}
+
+func redisSMT(name string, hw bool) redisSystem {
+	return redisOverMsg(name, func(w *World, port uint16, server bool) msgSock {
+		cfg := core.Config{HWOffload: hw, Transport: homa.Config{Port: port}}
+		if server {
+			cfg.Transport.AppThreads = []int{0}
+		}
+		host := w.Client
+		if server {
+			host = w.Server
+		}
+		return core.NewSocket(host, cfg)
+	}, func(cli, srv msgSock) error {
+		return core.PairSessions(cli.(*core.Socket), cli.Port(), srv.(*core.Socket), ServerPort, 31)
 	})
 }
 
-func redisSMT(hw bool) redisSystem {
-	name := "SMT-sw"
-	if hw {
-		name = "SMT-hw"
-	}
-	var cliSock, srvSock *core.Socket
-	sys := redisSystem{name: name}
-	sys.setup = func(w *World, streams, valueSize int, done func(uint64, []byte)) func(int, uint64, []byte) {
-		base := redisOverMsg(name, func(w *World, port uint16, server bool) msgSock {
-			cfg := core.Config{HWOffload: hw, Transport: homa.Config{Port: port}}
-			if server {
-				cfg.Transport.AppThreads = []int{0}
-			}
-			host := w.Client
-			if server {
-				host = w.Server
-			}
-			s := core.NewSocket(host, cfg)
-			if server {
-				srvSock = s
-			} else {
-				cliSock = s
-			}
-			return s
-		})
-		issue := base.setup(w, streams, valueSize, done)
-		if err := core.PairSessions(cliSock, cliSock.Port(), srvSock, ServerPort, 31); err != nil {
-			panic(err)
-		}
-		return issue
-	}
-	return sys
-}
-
 // redisOverTCP wires the kvstore behind the TCP family with one
-// connection per client stream.
-func redisOverTCP(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) redisSystem {
-	return redisSystem{name: name, setup: func(w *World, streams, valueSize int, done func(uint64, []byte)) func(int, uint64, []byte) {
-		store := kvstore.New(w.CM, fig8Keys, valueSize)
-		tcpsim.Listen(w.Server, serverPortK, tcpsim.Config{}, func() tcpsim.Codec {
-			if mkSrv == nil {
-				return tcpsim.PlainCodec{}
+// connection per client stream; nil rec means plain TCP. Key material
+// is derived per connection (ktls.ConnKeys), never shared.
+func redisOverTCP(name string, rec *streamRecord) redisSystem {
+	return redisSystem{name: name, setup: func(w *World, streams, valueSize int, done func(uint64, []byte)) (func(int, uint64, []byte), error) {
+		if rec != nil {
+			if err := rec.validate(w.CM); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
 			}
-			return mkSrv(w)
-		}, func() int { return 0 /* single-threaded server */ }, func(c *tcpsim.Conn) {
+		}
+		store := kvstore.New(w.CM, fig8Keys, valueSize)
+		var srvCodec func(peerAddr uint32, peerPort uint16) tcpsim.Codec
+		if rec != nil {
+			srvCodec = func(peerAddr uint32, peerPort uint16) tcpsim.Codec {
+				_, sk := ktls.ConnKeys(rec.label, peerAddr, peerPort)
+				return rec.mustCodec(w.CM, sk)
+			}
+		}
+		tcpsim.Listen(w.Server, serverPortK, tcpsim.Config{}, srvCodec, func() int { return 0 /* single-threaded server */ }, func(c *tcpsim.Conn) {
 			c.OnMessage(func(m []byte) {
 				id, body, ok := kvUnwrap(m)
 				if !ok {
@@ -165,11 +163,14 @@ func redisOverTCP(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) redisSy
 		})
 		conns := make([]*tcpsim.Conn, streams)
 		for i := 0; i < streams; i++ {
-			var codec tcpsim.Codec
-			if mkCli != nil {
-				codec = mkCli(w)
+			var cliCodec func(localPort uint16) tcpsim.Codec
+			if rec != nil {
+				cliCodec = func(localPort uint16) tcpsim.Codec {
+					ck, _ := ktls.ConnKeys(rec.label, w.Client.Addr, localPort)
+					return rec.mustCodec(w.CM, ck)
+				}
 			}
-			c := tcpsim.Dial(w.Client, i%AppThreads, tcpsim.Config{}, codec, ServerAddr, serverPortK, nil)
+			c := tcpsim.Dial(w.Client, i%AppThreads, tcpsim.Config{}, cliCodec, ServerAddr, serverPortK, nil)
 			c.OnMessage(func(m []byte) {
 				if id, body, ok := kvUnwrap(m); ok {
 					done(id, body)
@@ -180,51 +181,68 @@ func redisOverTCP(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) redisSy
 		w.Eng.RunUntil(w.Eng.Now() + 5*sim.Millisecond)
 		return func(stream int, reqID uint64, req []byte) {
 			conns[stream].SendMessage(kvWrap(reqID, req))
-		}
+		}, nil
 	}}
 }
 
-// Fig8Systems is the §5.3 lineup: TCP, user-space TLS, kTLS-sw/hw, Homa,
-// SMT-sw/hw.
-func Fig8Systems() []redisSystem {
-	mk := func(mode ktls.Mode, seed byte) (func(*World) tcpsim.Codec, func(*World) tcpsim.Codec) {
-		return func(w *World) tcpsim.Codec {
-				ck, _ := ktls.PairKeys(seed)
-				c, err := ktls.New(w.CM, mode, ck)
-				if err != nil {
-					panic(err)
-				}
-				return c
-			}, func(w *World) tcpsim.Codec {
-				_, sk := ktls.PairKeys(seed)
-				c, err := ktls.New(w.CM, mode, sk)
-				if err != nil {
-					panic(err)
-				}
-				return c
+// BuildRedis composes the §5.3 Redis harness for a spec, mirroring
+// BuildFabric's matrix: bytestream record layers plug into the TCP
+// wiring, the message transport carries plain Homa or SMT records, and
+// inexpressible combinations return the same descriptive errors.
+func BuildRedis(spec StackSpec) (redisSystem, error) {
+	switch spec.Transport {
+	case TransportTCP:
+		rec, err := streamRecordFor(spec)
+		if err != nil {
+			return redisSystem{}, err
+		}
+		return redisOverTCP(spec.name(), rec), nil
+	case TransportHoma:
+		switch spec.Record {
+		case RecordPlain:
+			return redisHoma(spec.name()), nil
+		case RecordSMTSW:
+			return redisSMT(spec.name(), false), nil
+		case RecordSMTHW:
+			return redisSMT(spec.name(), true), nil
+		default:
+			// Delegate to BuildFabric for the canonical mismatch error.
+			_, err := BuildFabric(spec)
+			if err == nil {
+				err = fmt.Errorf("stack %s: no redis wiring for record layer %q", spec.name(), spec.Record)
 			}
-	}
-	uc, us := mk(ktls.ModeUserTLS, 41)
-	kc, ks := mk(ktls.ModeKTLSSW, 42)
-	hc, hs := mk(ktls.ModeKTLSHW, 43)
-	return []redisSystem{
-		redisOverTCP("TCP", nil, nil),
-		redisOverTCP("TLS", uc, us),
-		redisOverTCP("kTLS-sw", kc, ks),
-		redisOverTCP("kTLS-hw", hc, hs),
-		redisHoma(),
-		redisSMT(false),
-		redisSMT(true),
+			return redisSystem{}, err
+		}
+	default:
+		return redisSystem{}, fmt.Errorf("stack %s: unknown transport %q (have tcp, homa)", spec.name(), spec.Transport)
 	}
 }
 
+// Fig8Systems is the §5.3 lineup (RedisLineup: TCP, user-space TLS,
+// kTLS-sw/hw, Homa, SMT-sw/hw) built for the Redis harness.
+func Fig8Systems() []redisSystem {
+	lineup := RedisLineup()
+	systems := make([]redisSystem, len(lineup))
+	for i, spec := range lineup {
+		sys, err := BuildRedis(spec)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		systems[i] = sys
+	}
+	return systems
+}
+
 // MeasureRedis runs one (system, workload, value size) cell of Figure 8.
-func MeasureRedis(sys redisSystem, w8 ycsb.Workload, valueSize, streams int, seed int64) Fig8Row {
+func MeasureRedis(sys redisSystem, w8 ycsb.Workload, valueSize, streams int, seed int64) (Fig8Row, error) {
 	w := NewWorld(seed)
 	gen := ycsb.New(w8, fig8Keys, seed)
 	gen.MaxScanLen = 20
 	var cl *rpc.ClosedLoop
-	issue := sys.setup(w, streams, valueSize, func(id uint64, resp []byte) { cl.Done(id) })
+	issue, err := sys.setup(w, streams, valueSize, func(id uint64, resp []byte) { cl.Done(id) })
+	if err != nil {
+		return Fig8Row{}, err
+	}
 	value := make([]byte, valueSize)
 	cl = rpc.NewClosedLoop(w.Eng, func(stream int, reqID uint64) {
 		op := gen.Next()
@@ -245,18 +263,22 @@ func MeasureRedis(sys redisSystem, w8 ycsb.Workload, valueSize, streams int, see
 	cl.Start(streams, warm, stop)
 	w.Eng.RunUntil(stop)
 	cl.Stop()
-	return Fig8Row{System: sys.name, Workload: w8, Value: valueSize, OpsPerSec: cl.Throughput()}
+	return Fig8Row{System: sys.name, Workload: w8, Value: valueSize, OpsPerSec: cl.Throughput()}, nil
 }
 
 // Fig8 reproduces Figure 8: YCSB A–E × value sizes 64 B / 1 KB / 4 KB.
-func Fig8() []Fig8Row {
+func Fig8() ([]Fig8Row, error) {
 	var rows []Fig8Row
 	for _, v := range Fig8Values {
 		for _, wl := range Fig8Workloads {
 			for _, sys := range Fig8Systems() {
-				rows = append(rows, MeasureRedis(sys, wl, v, 64, 333))
+				r, err := MeasureRedis(sys, wl, v, 64, 333)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, r)
 			}
 		}
 	}
-	return rows
+	return rows, nil
 }

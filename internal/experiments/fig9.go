@@ -26,7 +26,7 @@ type Fig9Row struct {
 // with the block; the initiator completes in kernel context. We model
 // the in-kernel discount by the smaller fixed costs and (for the
 // message-transport port) one extra copy of the 4 KB payload (§5.4).
-func MeasureNVMeoF(sys System, iodepth int, seed int64) Fig9Row {
+func MeasureNVMeoF(sys System, iodepth int, seed int64) (Fig9Row, error) {
 	w := NewWorld(seed)
 	ssd := nvmeof.NewSSD(w.Eng, nvmeof.DefaultChannels, nvmeof.DefaultReadLatency)
 	costs := nvmeof.DefaultCosts(w.CM)
@@ -37,7 +37,10 @@ func MeasureNVMeoF(sys System, iodepth int, seed int64) Fig9Row {
 	// Reuse the generic echo systems; the SSD latency is charged at the
 	// server by delaying the response via the SSD model, and the
 	// in-kernel discounts/extra copy adjust the path.
-	issue := sys.Setup(w, iodepth, 0, false, func(id uint64) { cl.Done(id) })
+	issue, err := sys.Setup(w, iodepth, 0, false, func(id uint64) { cl.Done(id) })
+	if err != nil {
+		return Fig9Row{}, err
+	}
 
 	rng := w.Eng.Rand()
 	cl = rpc.NewClosedLoop(w.Eng, func(stream int, reqID uint64) {
@@ -73,17 +76,21 @@ func MeasureNVMeoF(sys System, iodepth int, seed int64) Fig9Row {
 		P50Us: float64(lat.P50())/1e3 + base,
 		P99Us: float64(lat.P99())/1e3 + base,
 		IOPS:  cl.Throughput(),
-	}
+	}, nil
 }
 
 // Fig9 reproduces Figure 9: P50/P99 NVMe-oF read latency over iodepth
-// for the six systems.
-func Fig9() []Fig9Row {
+// for the active lineup.
+func Fig9() ([]Fig9Row, error) {
 	var rows []Fig9Row
 	for _, d := range Fig9Depths {
 		for _, sys := range Fig6Systems() {
-			rows = append(rows, MeasureNVMeoF(sys, d, 444))
+			r, err := MeasureNVMeoF(sys, d, 444)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
 		}
 	}
-	return rows
+	return rows, nil
 }

@@ -85,17 +85,20 @@ func loadSweepTopology() netsim.Topology {
 // size in the mix's support, the mean completion time of a single
 // closed-loop stream (one request outstanding) on an otherwise idle
 // instance of the same fabric and system wiring.
-func measureUnloadedIdeal(sys FabricSystem, dist workload.Dist, seed int64) map[int]float64 {
+func measureUnloadedIdeal(sys FabricSystem, dist workload.Dist, seed int64) (map[int]float64, error) {
 	w := NewFabricWorld(seed, loadSweepTopology())
 	cl := w.ClientHosts()
 	var loop *rpc.ClosedLoop
-	issue := sys.Setup(w, cl, w.Server,
+	issue, err := sys.Setup(w, cl, w.Server,
 		FabricConfig{StreamsPerClient: LoadSweepStreams, MTU: mtuOrDefault(0)},
 		func(client int, reqID uint64) {
 			if loop != nil {
 				loop.Done(reqID)
 			}
 		})
+	if err != nil {
+		return nil, err
+	}
 	ideal := make(map[int]float64, len(dist.Sizes()))
 	for _, size := range dist.Sizes() {
 		size := size
@@ -117,28 +120,34 @@ func measureUnloadedIdeal(sys FabricSystem, dist workload.Dist, seed int64) map[
 		// a silent zero here would quietly drop this size class from the
 		// headline p99 slowdown.
 		if loop.Completed == 0 || loop.Latency.Mean() <= 0 {
-			panic(fmt.Sprintf("loadsweep: unloaded baseline for %s at %dB completed %d RPCs",
-				sys.Name, size, loop.Completed))
+			return nil, fmt.Errorf("loadsweep: unloaded baseline for %s at %dB completed %d RPCs",
+				sys.Name, size, loop.Completed)
 		}
 		ideal[size] = loop.Latency.Mean()
 	}
-	return ideal
+	return ideal, nil
 }
 
 // MeasureLoadSweep runs one (system, load) point: measure the unloaded
 // ideals, then drive Poisson arrivals of the LoadSweepDist mix at
 // load × link rate from LoadSweepClients hosts and report goodput and
 // slowdown quantiles.
-func MeasureLoadSweep(sys FabricSystem, load float64, seed int64) LoadSweepRow {
+func MeasureLoadSweep(sys FabricSystem, load float64, seed int64) (LoadSweepRow, error) {
 	dist := LoadSweepDist()
-	ideal := measureUnloadedIdeal(sys, dist, seed)
+	ideal, err := measureUnloadedIdeal(sys, dist, seed)
+	if err != nil {
+		return LoadSweepRow{}, err
+	}
 
 	w := NewFabricWorld(seed, loadSweepTopology())
 	cl := w.ClientHosts()
 	var gen *workload.OpenLoop
-	issue := sys.Setup(w, cl, w.Server,
+	issue, err := sys.Setup(w, cl, w.Server,
 		FabricConfig{StreamsPerClient: LoadSweepStreams, MTU: mtuOrDefault(0)},
 		func(client int, reqID uint64) { gen.Done(reqID) })
+	if err != nil {
+		return LoadSweepRow{}, err
+	}
 	rate := load * w.CM.LinkGbps * 1e9 / 8 / dist.Mean() // messages/second
 	gen = workload.NewOpenLoop(w.Eng, dist, len(cl), LoadSweepStreams, rate,
 		func(client, stream int, reqID uint64, size int) {
@@ -165,19 +174,22 @@ func MeasureLoadSweep(sys FabricSystem, load float64, seed int64) LoadSweepRow {
 		SwitchDrops: w.Net.SwitchDrops.N,
 		Issued:      gen.Issued,
 		N:           gen.Completed,
-	}
+	}, nil
 }
 
-// LoadSweep reproduces the offered-load sweep across the six-system
-// lineup.
-func LoadSweep() []LoadSweepRow {
+// LoadSweep reproduces the offered-load sweep across the active lineup.
+func LoadSweep() ([]LoadSweepRow, error) {
 	var rows []LoadSweepRow
 	for _, load := range LoadSweepLoads {
 		for _, sys := range FabricSystems() {
-			rows = append(rows, MeasureLoadSweep(sys, load, LoadSweepSeed(load)))
+			r, err := MeasureLoadSweep(sys, load, LoadSweepSeed(load))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // LoadSweepPercent renders a load fraction as an integer percentage

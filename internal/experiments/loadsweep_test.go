@@ -12,7 +12,7 @@ func loadSweepByName(t *testing.T, load float64) map[string]LoadSweepRow {
 	var mu sync.Mutex
 	rows := map[string]LoadSweepRow{}
 	ForEach(len(FabricSystems()), 0, func(i int) {
-		r := MeasureLoadSweep(FabricSystems()[i], load, LoadSweepSeed(load))
+		r := must(MeasureLoadSweep(FabricSystems()[i], load, LoadSweepSeed(load)))
 		mu.Lock()
 		rows[r.System] = r
 		mu.Unlock()
@@ -125,7 +125,7 @@ func TestMeasureUnloadedIdeal(t *testing.T) {
 	}
 	t.Parallel()
 	dist := LoadSweepDist()
-	ideal := measureUnloadedIdeal(homaFabric(), dist, 11010)
+	ideal := must(measureUnloadedIdeal(MustBuildFabric(mustStack("Homa")), dist, 11010))
 	if len(ideal) != len(dist.Sizes()) {
 		t.Fatalf("ideal covers %d sizes, support has %d", len(ideal), len(dist.Sizes()))
 	}

@@ -9,33 +9,42 @@ import (
 
 // This file registers every table/figure of the evaluation in the
 // experiment registry. Each sweep is decomposed into one point per
-// independent (configuration, seed) cell; a point constructs its own
-// systems and World inside its Run closure, so no state is shared
-// between points and any subset may run concurrently.
+// independent (configuration, seed) cell; a point holds a StackSpec and
+// builds its own system and World inside its Run closure, so no state
+// is shared between points and any subset may run concurrently.
 //
-// The per-figure seeds and grids mirror the original serial drivers
+// The lineup-driven sweeps (fig6, fig7, fig9, incast, multiclient,
+// loadsweep) decompose over Lineup() — the default six-stack lineup
+// unless SetLineup installed a selection (smtexp -stacks). The
+// per-figure seeds and grids mirror the original serial drivers
 // (Fig6(), Fig7(), ... in fig*.go), so registry results reproduce the
 // exact numbers those functions produce.
 
 func itoa(v int) string { return strconv.Itoa(v) }
 
 func init() {
-	register("fig6", "unloaded RTT across RPC sizes for TCP, kTLS-sw/hw, Homa, SMT-sw/hw (§5.1)", func() []pointSpec {
+	register("fig6", "unloaded RTT across RPC sizes for the stack lineup (§5.1)", func() []pointSpec {
 		var specs []pointSpec
-		names := systemNames()
 		for _, size := range Fig6Sizes {
-			for si, name := range names {
+			for _, stack := range Lineup() {
 				specs = append(specs, pointSpec{
-					Key:    fmt.Sprintf("sys=%s/size=%d", name, size),
+					Key:    fmt.Sprintf("sys=%s/size=%d", stack.Name, size),
 					Seed:   42,
-					Labels: Labels{"system": name, "size": itoa(size)},
-					Run: func() Values {
-						r := MeasureRTT(Fig6Systems()[si], size, 0, false, 42)
+					Labels: Labels{"system": stack.Name, "size": itoa(size)},
+					Run: func() (Values, error) {
+						sys, err := BuildSystem(stack)
+						if err != nil {
+							return nil, err
+						}
+						r, err := MeasureRTT(sys, size, 0, false, 42)
+						if err != nil {
+							return nil, err
+						}
 						return Values{
 							"mean_rtt_ns": float64(r.MeanRTT),
 							"p50_rtt_ns":  float64(r.P50RTT),
 							"n":           float64(r.N),
-						}
+						}, nil
 					},
 				})
 			}
@@ -43,19 +52,25 @@ func init() {
 		return specs
 	})
 
-	register("fig7", "throughput over concurrency for 64B/1KB/8KB RPCs across the six systems (§5.2)", func() []pointSpec {
+	register("fig7", "throughput over concurrency for 64B/1KB/8KB RPCs across the stack lineup (§5.2)", func() []pointSpec {
 		var specs []pointSpec
-		names := systemNames()
 		for _, size := range Fig7Sizes {
 			for _, c := range Fig7Concurrency {
-				for si, name := range names {
+				for _, stack := range Lineup() {
 					specs = append(specs, pointSpec{
-						Key:    fmt.Sprintf("sys=%s/size=%d/conc=%d", name, size, c),
+						Key:    fmt.Sprintf("sys=%s/size=%d/conc=%d", stack.Name, size, c),
 						Seed:   1000 + int64(c),
-						Labels: Labels{"system": name, "size": itoa(size), "concurrency": itoa(c)},
-						Run: func() Values {
-							r := MeasureThroughput(Fig6Systems()[si], size, c, 0, 0, 1000+int64(c))
-							return tputValues(r)
+						Labels: Labels{"system": stack.Name, "size": itoa(size), "concurrency": itoa(c)},
+						Run: func() (Values, error) {
+							sys, err := BuildSystem(stack)
+							if err != nil {
+								return nil, err
+							}
+							r, err := MeasureThroughput(sys, size, c, 0, 0, 1000+int64(c))
+							if err != nil {
+								return nil, err
+							}
+							return tputValues(r), nil
 						},
 					})
 				}
@@ -69,7 +84,11 @@ func init() {
 		for _, c := range Fig7MTUConcurrency {
 			for _, mtu := range Fig7MTUs {
 				for _, hw := range []bool{false, true} {
-					name := smtSystem(hw).Name
+					stack := mustStack("SMT-sw")
+					if hw {
+						stack = mustStack("SMT-hw")
+					}
+					name := stack.Name
 					if mtu == 9000 {
 						name += "+9K"
 					}
@@ -77,9 +96,16 @@ func init() {
 						Key:    fmt.Sprintf("sys=%s/mtu=%d/conc=%d", name, mtu, c),
 						Seed:   2000 + int64(c),
 						Labels: Labels{"system": name, "mtu": itoa(mtu), "concurrency": itoa(c)},
-						Run: func() Values {
-							r := MeasureThroughput(smtSystem(hw), 8192, c, mtu, 0, 2000+int64(c))
-							return tputValues(r)
+						Run: func() (Values, error) {
+							sys, err := BuildSystem(stack)
+							if err != nil {
+								return nil, err
+							}
+							r, err := MeasureThroughput(sys, 8192, c, mtu, 0, 2000+int64(c))
+							if err != nil {
+								return nil, err
+							}
+							return tputValues(r), nil
 						},
 					})
 				}
@@ -90,16 +116,21 @@ func init() {
 
 	register("cpuusage", "CPU busy fractions at a fixed 1.2M req/s rate for kTLS and SMT (§5.2)", func() []pointSpec {
 		var specs []pointSpec
-		lineup := CPUUsageSystems()
-		for i := range lineup {
-			name := lineup[i].Name
+		for _, stack := range CPUUsageLineup() {
 			specs = append(specs, pointSpec{
-				Key:    "sys=" + name,
+				Key:    "sys=" + stack.Name,
 				Seed:   77,
-				Labels: Labels{"system": name, "target_rate": "1.2e6"},
-				Run: func() Values {
-					r := MeasureCPUUsage(CPUUsageSystems()[i], 1.2e6)
-					return tputValues(r)
+				Labels: Labels{"system": stack.Name, "target_rate": "1.2e6"},
+				Run: func() (Values, error) {
+					sys, err := BuildSystem(stack)
+					if err != nil {
+						return nil, err
+					}
+					r, err := MeasureCPUUsage(sys, 1.2e6)
+					if err != nil {
+						return nil, err
+					}
+					return tputValues(r), nil
 				},
 			})
 		}
@@ -108,20 +139,23 @@ func init() {
 
 	register("fig8", "Redis-style YCSB A-E throughput over value sizes across seven systems (§5.3)", func() []pointSpec {
 		var specs []pointSpec
-		var names []string
-		for _, s := range Fig8Systems() {
-			names = append(names, s.name)
-		}
 		for _, v := range Fig8Values {
 			for _, wl := range Fig8Workloads {
-				for si, name := range names {
+				for _, stack := range RedisLineup() {
 					specs = append(specs, pointSpec{
-						Key:    fmt.Sprintf("sys=%s/wl=%s/value=%d", name, wl, v),
+						Key:    fmt.Sprintf("sys=%s/wl=%s/value=%d", stack.Name, wl, v),
 						Seed:   333,
-						Labels: Labels{"system": name, "workload": wl.String(), "value": itoa(v)},
-						Run: func() Values {
-							r := MeasureRedis(Fig8Systems()[si], wl, v, 64, 333)
-							return Values{"ops_per_sec": r.OpsPerSec}
+						Labels: Labels{"system": stack.Name, "workload": wl.String(), "value": itoa(v)},
+						Run: func() (Values, error) {
+							sys, err := BuildRedis(stack)
+							if err != nil {
+								return nil, err
+							}
+							r, err := MeasureRedis(sys, wl, v, 64, 333)
+							if err != nil {
+								return nil, err
+							}
+							return Values{"ops_per_sec": r.OpsPerSec}, nil
 						},
 					})
 				}
@@ -130,18 +164,24 @@ func init() {
 		return specs
 	})
 
-	register("fig9", "NVMe-oF 4KB random-read P50/P99 latency over iodepth for the six systems (§5.4)", func() []pointSpec {
+	register("fig9", "NVMe-oF 4KB random-read P50/P99 latency over iodepth for the stack lineup (§5.4)", func() []pointSpec {
 		var specs []pointSpec
-		names := systemNames()
 		for _, d := range Fig9Depths {
-			for si, name := range names {
+			for _, stack := range Lineup() {
 				specs = append(specs, pointSpec{
-					Key:    fmt.Sprintf("sys=%s/iodepth=%d", name, d),
+					Key:    fmt.Sprintf("sys=%s/iodepth=%d", stack.Name, d),
 					Seed:   444,
-					Labels: Labels{"system": name, "iodepth": itoa(d)},
-					Run: func() Values {
-						r := MeasureNVMeoF(Fig6Systems()[si], d, 444)
-						return Values{"p50_us": r.P50Us, "p99_us": r.P99Us, "iops": r.IOPS}
+					Labels: Labels{"system": stack.Name, "iodepth": itoa(d)},
+					Run: func() (Values, error) {
+						sys, err := BuildSystem(stack)
+						if err != nil {
+							return nil, err
+						}
+						r, err := MeasureNVMeoF(sys, d, 444)
+						if err != nil {
+							return nil, err
+						}
+						return Values{"p50_us": r.P50Us, "p99_us": r.P99Us, "iops": r.IOPS}, nil
 					},
 				})
 			}
@@ -151,17 +191,23 @@ func init() {
 
 	register("fig10", "unloaded RTT of TCPLS vs SMT-sw/hw (§5.5)", func() []pointSpec {
 		var specs []pointSpec
-		mk := []func() System{tcplsSystem, func() System { return smtSystem(false) }, func() System { return smtSystem(true) }}
+		lineup := []StackSpec{mustStack("TCPLS"), mustStack("SMT-sw"), mustStack("SMT-hw")}
 		for _, size := range Fig10Sizes {
-			for i := range mk {
-				name := mk[i]().Name
+			for _, stack := range lineup {
 				specs = append(specs, pointSpec{
-					Key:    fmt.Sprintf("sys=%s/size=%d", name, size),
+					Key:    fmt.Sprintf("sys=%s/size=%d", stack.Name, size),
 					Seed:   77,
-					Labels: Labels{"system": name, "size": itoa(size)},
-					Run: func() Values {
-						r := MeasureRTT(mk[i](), size, 0, false, 77)
-						return Values{"mean_rtt_ns": float64(r.MeanRTT), "p50_rtt_ns": float64(r.P50RTT), "n": float64(r.N)}
+					Labels: Labels{"system": stack.Name, "size": itoa(size)},
+					Run: func() (Values, error) {
+						sys, err := BuildSystem(stack)
+						if err != nil {
+							return nil, err
+						}
+						r, err := MeasureRTT(sys, size, 0, false, 77)
+						if err != nil {
+							return nil, err
+						}
+						return Values{"mean_rtt_ns": float64(r.MeanRTT), "p50_rtt_ns": float64(r.P50RTT), "n": float64(r.N)}, nil
 					},
 				})
 			}
@@ -181,9 +227,16 @@ func init() {
 					Key:    fmt.Sprintf("sys=%s/size=%d", name, size),
 					Seed:   88,
 					Labels: Labels{"system": name, "size": itoa(size), "tso": fmt.Sprint(!noTSO)},
-					Run: func() Values {
-						r := MeasureRTT(smtSystem(true), size, 0, noTSO, 88)
-						return Values{"mean_rtt_ns": float64(r.MeanRTT), "p50_rtt_ns": float64(r.P50RTT), "n": float64(r.N)}
+					Run: func() (Values, error) {
+						sys, err := BuildSystem(mustStack("SMT-hw"))
+						if err != nil {
+							return nil, err
+						}
+						r, err := MeasureRTT(sys, size, 0, noTSO, 88)
+						if err != nil {
+							return nil, err
+						}
+						return Values{"mean_rtt_ns": float64(r.MeanRTT), "p50_rtt_ns": float64(r.P50RTT), "n": float64(r.N)}, nil
 					},
 				})
 			}
@@ -199,9 +252,9 @@ func init() {
 					Key:    fmt.Sprintf("mode=%s/size=%d", m, size),
 					Seed:   5000,
 					Labels: Labels{"mode": m.String(), "size": itoa(size)},
-					Run: func() Values {
+					Run: func() (Values, error) {
 						r := MeasureKeyExchange(m, size, 5000)
-						return Values{"time_us": r.TimeUs}
+						return Values{"time_us": r.TimeUs}, nil
 					},
 				})
 			}
@@ -209,20 +262,25 @@ func init() {
 		return specs
 	})
 
-	register("incast", "M-client incast onto one switch port: tail latency and goodput collapse across the six systems", func() []pointSpec {
+	register("incast", "M-client incast onto one switch port: tail latency and goodput collapse across the stack lineup", func() []pointSpec {
 		var specs []pointSpec
-		names := systemNames()
 		for _, m := range IncastClients {
 			for _, size := range IncastSizes {
-				for si, name := range names {
-					m, size := m, size
+				for _, stack := range Lineup() {
 					specs = append(specs, pointSpec{
-						Key:    fmt.Sprintf("sys=%s/clients=%d/size=%d", name, m, size),
+						Key:    fmt.Sprintf("sys=%s/clients=%d/size=%d", stack.Name, m, size),
 						Seed:   9000 + int64(m),
-						Labels: Labels{"system": name, "clients": itoa(m), "size": itoa(size)},
-						Run: func() Values {
-							r := MeasureIncast(FabricSystems()[si], m, size, 9000+int64(m))
-							return incastValues(r)
+						Labels: Labels{"system": stack.Name, "clients": itoa(m), "size": itoa(size)},
+						Run: func() (Values, error) {
+							sys, err := BuildFabric(stack)
+							if err != nil {
+								return nil, err
+							}
+							r, err := MeasureIncast(sys, m, size, 9000+int64(m))
+							if err != nil {
+								return nil, err
+							}
+							return incastValues(r), nil
 						},
 					})
 				}
@@ -231,18 +289,23 @@ func init() {
 		return specs
 	})
 
-	register("multiclient", "aggregate throughput scaling as client hosts are added, across the six systems", func() []pointSpec {
+	register("multiclient", "aggregate throughput scaling as client hosts are added, across the stack lineup", func() []pointSpec {
 		var specs []pointSpec
-		names := systemNames()
 		for _, m := range MulticlientCounts {
-			for si, name := range names {
-				m := m
+			for _, stack := range Lineup() {
 				specs = append(specs, pointSpec{
-					Key:    fmt.Sprintf("sys=%s/clients=%d", name, m),
+					Key:    fmt.Sprintf("sys=%s/clients=%d", stack.Name, m),
 					Seed:   8000 + int64(m),
-					Labels: Labels{"system": name, "clients": itoa(m)},
-					Run: func() Values {
-						r := MeasureMulticlient(FabricSystems()[si], m, 8000+int64(m))
+					Labels: Labels{"system": stack.Name, "clients": itoa(m)},
+					Run: func() (Values, error) {
+						sys, err := BuildFabric(stack)
+						if err != nil {
+							return nil, err
+						}
+						r, err := MeasureMulticlient(sys, m, 8000+int64(m))
+						if err != nil {
+							return nil, err
+						}
 						return Values{
 							"rpcs_per_sec":    r.RPCsPerSec,
 							"per_client_rpcs": r.PerClientRPCs,
@@ -250,7 +313,7 @@ func init() {
 							"p99_lat_us":      r.P99LatUs,
 							"server_cpu":      r.ServerCPU,
 							"n":               float64(r.N),
-						}
+						}, nil
 					},
 				})
 			}
@@ -258,19 +321,24 @@ func init() {
 		return specs
 	})
 
-	register("loadsweep", "open-loop offered-load sweep: p50/p99 slowdown and goodput vs load across the six systems", func() []pointSpec {
+	register("loadsweep", "open-loop offered-load sweep: p50/p99 slowdown and goodput vs load across the stack lineup", func() []pointSpec {
 		var specs []pointSpec
-		names := systemNames()
 		for _, load := range LoadSweepLoads {
-			for si, name := range names {
-				load := load
+			for _, stack := range Lineup() {
 				specs = append(specs, pointSpec{
-					Key:    fmt.Sprintf("sys=%s/load=%d", name, LoadSweepPercent(load)),
+					Key:    fmt.Sprintf("sys=%s/load=%d", stack.Name, LoadSweepPercent(load)),
 					Seed:   LoadSweepSeed(load),
-					Labels: Labels{"system": name, "load": fmt.Sprintf("%.2f", load), "dist": LoadSweepDist().Name()},
-					Run: func() Values {
-						r := MeasureLoadSweep(FabricSystems()[si], load, LoadSweepSeed(load))
-						return loadSweepValues(r)
+					Labels: Labels{"system": stack.Name, "load": fmt.Sprintf("%.2f", load), "dist": LoadSweepDist().Name()},
+					Run: func() (Values, error) {
+						sys, err := BuildFabric(stack)
+						if err != nil {
+							return nil, err
+						}
+						r, err := MeasureLoadSweep(sys, load, LoadSweepSeed(load))
+						if err != nil {
+							return nil, err
+						}
+						return loadSweepValues(r), nil
 					},
 				})
 			}
@@ -286,7 +354,7 @@ func init() {
 				Key:    name,
 				Seed:   1,
 				Labels: Labels{"scenario": name},
-				Run: func() Values {
+				Run: func() (Values, error) {
 					r := Fig2Scenario(i)
 					dec := 0.0
 					if r.Decrypted {
@@ -296,7 +364,7 @@ func init() {
 						"decrypted": dec,
 						"corrupted": float64(r.Corrupted),
 						"resyncs":   float64(r.Resyncs),
-					}
+					}, nil
 				},
 			})
 		}
@@ -311,14 +379,14 @@ func init() {
 			specs = append(specs, pointSpec{
 				Key:    fmt.Sprintf("size_bits=%d", r.SizeBits),
 				Labels: Labels{"size_bits": itoa(r.SizeBits), "id_bits": itoa(r.IDBits)},
-				Run: func() Values {
+				Run: func() (Values, error) {
 					return Values{
 						"size_bits":           float64(r.SizeBits),
 						"id_bits":             float64(r.IDBits),
 						"max_messages":        r.MaxMessages,
 						"max_msg_size_mb":     r.MaxMsgSizeMB,
 						"max_msg_size_16k_mb": r.MaxMsgSize16KB,
-					}
+					}, nil
 				},
 			})
 		}
@@ -331,8 +399,8 @@ func init() {
 		for i := range rows {
 			specs = append(specs, pointSpec{
 				Key: "sys=" + rows[i].System,
-				Run: func() Values {
-					return nil
+				Run: func() (Values, error) {
+					return nil, nil
 				},
 				Labels: Labels{
 					"system":      rows[i].System,
@@ -352,7 +420,7 @@ func init() {
 		// together; values are wall-clock and so machine-dependent.
 		return []pointSpec{{
 			Key: "all-ops",
-			Run: func() Values {
+			Run: func() (Values, error) {
 				vals := Values{}
 				for _, r := range handshake.MeasureTable2() {
 					vals["paper_us/"+r.Name] = r.PaperUs
@@ -362,20 +430,10 @@ func init() {
 						vals["measured_rsa_us/"+r.Name] = r.MeasRSAUs
 					}
 				}
-				return vals
+				return vals, nil
 			},
 		}}
 	})
-}
-
-// systemNames returns the Fig6Systems lineup's names without building
-// world state.
-func systemNames() []string {
-	var names []string
-	for _, s := range Fig6Systems() {
-		names = append(names, s.Name)
-	}
-	return names
 }
 
 // tputValues flattens a throughput row into registry values.

@@ -60,17 +60,20 @@ type Result struct {
 	// ElapsedMs is the wall-clock cost of running the point (the
 	// simulation cost, not the virtual-time result).
 	ElapsedMs float64 `json:"elapsed_ms"`
-	// Err is set when the point panicked instead of completing.
+	// Err is set when the point returned an error (a stack that could
+	// not be built or wired) or panicked instead of completing.
 	Err string `json:"error,omitempty"`
 }
 
 // pointSpec is the in-package building block of registered experiments:
-// one cell's identity plus the closure that measures it.
+// one cell's identity plus the closure that measures it. Run reports
+// setup failures (unbuildable stacks, key material) as error returns;
+// panics are still recovered as a last resort.
 type pointSpec struct {
 	Key    string
 	Seed   int64
 	Labels Labels
-	Run    func() Values
+	Run    func() (Values, error)
 }
 
 // specExperiment adapts a deterministic []pointSpec builder to the
@@ -116,7 +119,11 @@ func (e *specExperiment) Run(p Point) Result {
 				res.Err = fmt.Sprint(r)
 			}
 		}()
-		res.Values = s.Run()
+		var err error
+		res.Values, err = s.Run()
+		if err != nil {
+			res.Err = err.Error()
+		}
 	}()
 	res.ElapsedMs = float64(time.Since(start)) / 1e6
 	return res

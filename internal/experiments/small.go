@@ -17,15 +17,19 @@ import (
 var Fig10Sizes = []int{64, 256, 1024, 4096, 16384}
 
 // Fig10 reproduces Figure 10: unloaded RTT of TCPLS vs SMT-sw/SMT-hw.
-func Fig10() []RTTRow {
+func Fig10() ([]RTTRow, error) {
 	systems := []System{tcplsSystem(), smtSystem(false), smtSystem(true)}
 	var rows []RTTRow
 	for _, size := range Fig10Sizes {
 		for _, sys := range systems {
-			rows = append(rows, MeasureRTT(sys, size, 0, false, 77))
+			r, err := MeasureRTT(sys, size, 0, false, 77)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // --- Figure 11: effect of TSO ---
@@ -34,17 +38,23 @@ func Fig10() []RTTRow {
 var Fig11Sizes = []int{512, 1024, 2048, 4096, 8192}
 
 // Fig11 reproduces Figure 11: SMT-hw with TSO vs software segmentation.
-func Fig11() []RTTRow {
+func Fig11() ([]RTTRow, error) {
 	var rows []RTTRow
 	for _, size := range Fig11Sizes {
-		withTSO := MeasureRTT(smtSystem(true), size, 0, false, 88)
+		withTSO, err := MeasureRTT(smtSystem(true), size, 0, false, 88)
+		if err != nil {
+			return nil, err
+		}
 		withTSO.System = "SMT-HW-TSO"
 		rows = append(rows, withTSO)
-		noTSO := MeasureRTT(smtSystem(true), size, 0, true, 88)
+		noTSO, err := MeasureRTT(smtSystem(true), size, 0, true, 88)
+		if err != nil {
+			return nil, err
+		}
 		noTSO.System = "SMT-HW-w/o-TSO"
 		rows = append(rows, noTSO)
 	}
-	return rows
+	return rows, nil
 }
 
 // --- Figure 2: autonomous-offload resync semantics ---

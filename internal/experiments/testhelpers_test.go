@@ -1,0 +1,10 @@
+package experiments
+
+// must unwraps a (row, error) measurement in tests; an error panics,
+// which ForEach propagates into the calling test as a loud failure.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

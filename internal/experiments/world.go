@@ -11,13 +11,20 @@
 //
 // Three layers of access, outermost first:
 //
-//   - cmd/smtexp: list/run experiments by name, JSON artifacts.
-//   - Registry API: Lookup/Names/All, Run/RunPoints/RunNamed.
+//   - cmd/smtexp: list/run experiments by name, JSON artifacts, lineup
+//     selection via -stacks.
+//   - Registry API: Lookup/Names/All, Run/RunPoints/RunNamed, and the
+//     stack registry (stack.go): StackSpec, BuildFabric, Lineup.
 //   - Typed measurement functions (MeasureRTT, MeasureThroughput,
 //     MeasureRedis, MeasureIncast, ...) and serial drivers (Fig6(),
 //     Fig7(), Incast(), ...) that return plain row structs, used by
 //     cmd/smtbench and the shape tests; the registry wraps exactly
 //     these, so both paths produce identical numbers.
+//
+// The systems under test are composed, not hardwired: a StackSpec names
+// a transport × record-layer cell and BuildFabric assembles it from the
+// per-layer constructors in this file (tcpFabricFamily, homaFabric,
+// smtFabric) — see stack.go for the registry and the buildable matrix.
 //
 // Worlds come in two shapes. NewWorld builds the paper's two-host
 // back-to-back testbed; NewFabricWorld builds an N-host fabric from a
@@ -28,6 +35,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"smt/internal/core"
 	"smt/internal/cost"
 	"smt/internal/cpusim"
@@ -36,7 +45,6 @@ import (
 	"smt/internal/netsim"
 	"smt/internal/rpc"
 	"smt/internal/sim"
-	"smt/internal/tcpls"
 	"smt/internal/tcpsim"
 	"smt/internal/wire"
 )
@@ -108,8 +116,9 @@ type System struct {
 	// streams under the given MTU. done is called on the client when a
 	// response arrives; issue sends a request on a stream. Setup may run
 	// the engine to pre-establish connections (as the paper's harness
-	// pre-establishes before measuring).
-	Setup func(w *World, streams, mtu int, noTSO bool, done func(reqID uint64)) (issue func(stream int, reqID uint64, size, respSize int))
+	// pre-establishes before measuring). A wiring failure (key material,
+	// session registration) is an error return, never a panic.
+	Setup func(w *World, streams, mtu int, noTSO bool, done func(reqID uint64)) (issue func(stream int, reqID uint64, size, respSize int), err error)
 }
 
 // FabricConfig parameterizes a FabricSystem's wiring.
@@ -127,12 +136,14 @@ type FabricConfig struct {
 // server and one client endpoint per host in clients, and returns an
 // issuer addressed by (client, stream). The two-host System of the §5
 // figures is the clients=[Hosts[0]] special case (see System()).
+// FabricSystems are composed from StackSpecs by BuildFabric (stack.go).
 type FabricSystem struct {
 	Name string
 	// Setup wires the echo service on server and a client endpoint on
 	// every host in clients. done is invoked on the issuing client's
-	// host when that client's request reqID completes.
-	Setup func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(client int, reqID uint64)) (issue func(client, stream int, reqID uint64, size, respSize int))
+	// host when that client's request reqID completes. Wiring failures
+	// are error returns, never panics.
+	Setup func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(client int, reqID uint64)) (issue func(client, stream int, reqID uint64, size, respSize int), err error)
 }
 
 // System adapts the fabric wiring to the two-host harness: client =
@@ -140,13 +151,16 @@ type FabricSystem struct {
 // adapter, so the two-host numbers come from the same code path as the
 // fabric experiments.
 func (f FabricSystem) System() System {
-	return System{Name: f.Name, Setup: func(w *World, streams, mtu int, noTSO bool, done func(uint64)) func(int, uint64, int, int) {
-		issue := f.Setup(w, []*cpusim.Host{w.Client}, w.Server,
+	return System{Name: f.Name, Setup: func(w *World, streams, mtu int, noTSO bool, done func(uint64)) (func(int, uint64, int, int), error) {
+		issue, err := f.Setup(w, []*cpusim.Host{w.Client}, w.Server,
 			FabricConfig{StreamsPerClient: streams, MTU: mtu, NoTSO: noTSO},
 			func(_ int, reqID uint64) { done(reqID) })
+		if err != nil {
+			return nil, err
+		}
 		return func(stream int, reqID uint64, size, respSize int) {
 			issue(0, stream, reqID, size, respSize)
-		}
+		}, nil
 	}}
 }
 
@@ -159,10 +173,12 @@ func serverThreads() []int {
 	return threads
 }
 
-// --- message-transport systems (Homa, SMT) ---
+// --- message-transport wiring (homa × {plain, smt-sw, smt-hw}) ---
 
-func homaFabric() FabricSystem {
-	return FabricSystem{Name: "Homa", Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) func(int, int, uint64, int, int) {
+// homaFabric is the plain message-transport constructor: Homa with no
+// record layer.
+func homaFabric(name string) FabricSystem {
+	return FabricSystem{Name: name, Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) (func(int, int, uint64, int, int), error) {
 		srv := homa.NewSocket(server, homa.Config{Port: ServerPort, MTU: cfg.MTU, NoTSO: cfg.NoTSO, AppThreads: serverThreads()}, nil)
 		srv.OnMessage(func(d homa.Delivery) {
 			id, respSize, err := rpc.Decode(d.Payload)
@@ -186,18 +202,15 @@ func homaFabric() FabricSystem {
 		}
 		return func(client, stream int, reqID uint64, size, respSize int) {
 			clis[client].Send(server.Addr, ServerPort, rpc.Encode(reqID, uint32(respSize), size), stream%AppThreads)
-		}
+		}, nil
 	}}
 }
 
-func homaSystem() System { return homaFabric().System() }
-
-func smtFabric(hw bool) FabricSystem {
-	name := "SMT-sw"
-	if hw {
-		name = "SMT-hw"
-	}
-	return FabricSystem{Name: name, Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) func(int, int, uint64, int, int) {
+// smtFabric is the transport-integrated record constructor: the homa
+// transport with SMT record protection (software crypto, or NIC offload
+// on transmit when hw is set).
+func smtFabric(name string, hw bool) FabricSystem {
+	return FabricSystem{Name: name, Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) (func(int, int, uint64, int, int), error) {
 		srv := core.NewSocket(server, core.Config{
 			Transport: homa.Config{Port: ServerPort, MTU: cfg.MTU, NoTSO: cfg.NoTSO, AppThreads: serverThreads()},
 			HWOffload: hw,
@@ -212,7 +225,7 @@ func smtFabric(hw bool) FabricSystem {
 			// Each client pair gets its own session keys, as one TLS
 			// handshake per flow 5-tuple would produce (§4.2).
 			if err := core.PairSessions(cli, cli.Port(), srv, ServerPort, byte(11+ci)); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("%s: pair sessions for client %d: %w", name, ci, err)
 			}
 			cli.OnMessage(func(d homa.Delivery) {
 				if id, _, err := rpc.Decode(d.Payload); err == nil {
@@ -232,26 +245,34 @@ func smtFabric(hw bool) FabricSystem {
 		})
 		return func(client, stream int, reqID uint64, size, respSize int) {
 			clis[client].Send(server.Addr, ServerPort, rpc.Encode(reqID, uint32(respSize), size), stream%AppThreads)
-		}
+		}, nil
 	}}
 }
 
-func smtSystem(hw bool) System { return smtFabric(hw).System() }
-
-// --- TCP-family systems ---
+// --- bytestream wiring (tcp × any stream record layer) ---
 
 // tcpFabricFamily wires one connection per (client, stream) through a
-// codec factory pair (client, server); nil factories mean plain TCP.
-func tcpFabricFamily(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) FabricSystem {
-	return FabricSystem{Name: name, Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) func(int, int, uint64, int, int) {
+// stream record layer; nil rec means plain TCP. Each connection derives
+// its own mirrored key material from the record layer's label and the
+// client half of the 4-tuple (ktls.ConnKeys), so no two connections in
+// any world share keys.
+func tcpFabricFamily(name string, rec *streamRecord) FabricSystem {
+	return FabricSystem{Name: name, Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) (func(int, int, uint64, int, int), error) {
+		if rec != nil {
+			if err := rec.validate(w.CM); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+		}
 		tcfg := tcpsim.Config{MTU: cfg.MTU}
 		nextThread := 0
-		tcpsim.Listen(server, serverPortK, tcfg, func() tcpsim.Codec {
-			if mkSrv == nil {
-				return tcpsim.PlainCodec{}
+		var srvCodec func(peerAddr uint32, peerPort uint16) tcpsim.Codec
+		if rec != nil {
+			srvCodec = func(peerAddr uint32, peerPort uint16) tcpsim.Codec {
+				_, sk := ktls.ConnKeys(rec.label, peerAddr, peerPort)
+				return rec.mustCodec(w.CM, sk)
 			}
-			return mkSrv(w)
-		}, func() int {
+		}
+		tcpsim.Listen(server, serverPortK, tcfg, srvCodec, func() int {
 			t := nextThread
 			nextThread = (nextThread + 1) % AppThreads
 			return t
@@ -271,11 +292,15 @@ func tcpFabricFamily(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) Fabr
 			ci := ci
 			conns[ci] = make([]*tcpsim.Conn, cfg.StreamsPerClient)
 			for i := 0; i < cfg.StreamsPerClient; i++ {
-				var codec tcpsim.Codec
-				if mkCli != nil {
-					codec = mkCli(w)
+				var cliCodec func(localPort uint16) tcpsim.Codec
+				if rec != nil {
+					addr := ch.Addr
+					cliCodec = func(localPort uint16) tcpsim.Codec {
+						ck, _ := ktls.ConnKeys(rec.label, addr, localPort)
+						return rec.mustCodec(w.CM, ck)
+					}
 				}
-				c := tcpsim.Dial(ch, i%AppThreads, tcfg, codec, server.Addr, serverPortK, nil)
+				c := tcpsim.Dial(ch, i%AppThreads, tcfg, cliCodec, server.Addr, serverPortK, nil)
 				c.OnMessage(func(m []byte) {
 					if id, _, err := rpc.Decode(m); err == nil {
 						done(ci, id)
@@ -288,88 +313,44 @@ func tcpFabricFamily(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) Fabr
 		w.Eng.RunUntil(w.Eng.Now() + 5*sim.Millisecond)
 		return func(client, stream int, reqID uint64, size, respSize int) {
 			conns[client][stream].SendMessage(rpc.Encode(reqID, uint32(respSize), size))
-		}
+		}, nil
 	}}
 }
 
-// tcpFamily is the two-host adapter kept for the §5 figure drivers.
-func tcpFamily(name string, mkCli, mkSrv func(w *World) tcpsim.Codec) System {
-	return tcpFabricFamily(name, mkCli, mkSrv).System()
-}
+// --- registered-lineup conveniences ---
 
-func tcpFabric() FabricSystem {
-	return tcpFabricFamily("TCP", nil, nil)
-}
-
-func tcpSystem() System {
-	return tcpFabric().System()
-}
-
-func ktlsFabric(mode ktls.Mode) FabricSystem {
-	return tcpFabricFamily(mode.String(),
-		func(w *World) tcpsim.Codec {
-			ck, _ := ktls.PairKeys(21)
-			c, err := ktls.New(w.CM, mode, ck)
-			if err != nil {
-				panic(err)
-			}
-			return c
-		},
-		func(w *World) tcpsim.Codec {
-			_, sk := ktls.PairKeys(21)
-			c, err := ktls.New(w.CM, mode, sk)
-			if err != nil {
-				panic(err)
-			}
-			return c
-		})
-}
-
-func ktlsSystem(mode ktls.Mode) System {
-	return ktlsFabric(mode).System()
-}
-
-func tcplsSystem() System {
-	return tcpFamily("TCPLS",
-		func(w *World) tcpsim.Codec {
-			ck, _ := ktls.PairKeys(23)
-			c, err := tcpls.New(w.CM, ck)
-			if err != nil {
-				panic(err)
-			}
-			return c
-		},
-		func(w *World) tcpsim.Codec {
-			_, sk := ktls.PairKeys(23)
-			c, err := tcpls.New(w.CM, sk)
-			if err != nil {
-				panic(err)
-			}
-			return c
-		})
-}
-
-// FabricSystems is the six-system lineup generalized to N hosts, in the
-// Fig6Systems order.
+// FabricSystems builds the active lineup (Lineup(), default: the six
+// systems of the §5 figures) generalized to N hosts, in lineup order.
 func FabricSystems() []FabricSystem {
-	return []FabricSystem{
-		tcpFabric(),
-		ktlsFabric(ktls.ModeKTLSSW),
-		ktlsFabric(ktls.ModeKTLSHW),
-		homaFabric(),
-		smtFabric(false),
-		smtFabric(true),
-	}
-}
-
-// Fig6Systems is the §5.1/§5.2 lineup.
-func Fig6Systems() []System {
-	systems := make([]System, 0, 6)
-	for _, f := range FabricSystems() {
-		systems = append(systems, f.System())
+	lineup := Lineup()
+	systems := make([]FabricSystem, len(lineup))
+	for i, spec := range lineup {
+		systems[i] = MustBuildFabric(spec)
 	}
 	return systems
 }
+
+// Fig6Systems is the active lineup's two-host adapters (default: the
+// §5.1/§5.2 six-system lineup).
+func Fig6Systems() []System {
+	lineup := Lineup()
+	systems := make([]System, len(lineup))
+	for i, spec := range lineup {
+		systems[i] = MustBuildSystem(spec)
+	}
+	return systems
+}
+
+// smtSystem builds the two-host SMT stack (fig7mtu, fig10, fig11).
+func smtSystem(hw bool) System {
+	if hw {
+		return MustBuildSystem(mustStack("SMT-hw"))
+	}
+	return MustBuildSystem(mustStack("SMT-sw"))
+}
+
+// tcplsSystem builds the two-host TCPLS stack (fig10).
+func tcplsSystem() System { return MustBuildSystem(mustStack("TCPLS")) }
 
 // mtuOrDefault resolves an MTU argument.
 func mtuOrDefault(mtu int) int {

@@ -15,10 +15,12 @@
 package ktls
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"smt/internal/cost"
+	"smt/internal/hkdfx"
 	"smt/internal/nicsim"
 	"smt/internal/sim"
 	"smt/internal/tcpsim"
@@ -190,6 +192,26 @@ func (c *Codec) DecodeStream(data []byte) ([]byte, sim.Time, error) {
 		c.rxBuf = c.rxBuf[total:]
 	}
 	return out, cpu, nil
+}
+
+// ConnKeys derives mirrored per-connection key material from a stack
+// label and the client half of the connection's 4-tuple — the state one
+// TLS handshake per connection would produce. Both ends can compute it
+// independently (the client knows its own address and ephemeral port at
+// dial time; the server reads them off the SYN), and no two connections
+// ever share keys, unlike the fixed PairKeys test vectors.
+func ConnKeys(label string, clientAddr uint32, clientPort uint16) (client, server Keys) {
+	prk := hkdfx.Extract(nil, []byte("smt stack "+label))
+	ctx := make([]byte, 6)
+	binary.BigEndian.PutUint32(ctx, clientAddr)
+	binary.BigEndian.PutUint16(ctx[4:], clientPort)
+	const dirLen = tlsrec.Key128 + wire.GCMNonceLen
+	okm := hkdfx.Expand(prk, ctx, 2*dirLen)
+	ck, civ := okm[:tlsrec.Key128], okm[tlsrec.Key128:dirLen]
+	sk, siv := okm[dirLen:dirLen+tlsrec.Key128], okm[dirLen+tlsrec.Key128:]
+	client = Keys{TxKey: ck, TxIV: civ, RxKey: sk, RxIV: siv}
+	server = Keys{TxKey: sk, TxIV: siv, RxKey: ck, RxIV: civ}
+	return
 }
 
 // PairKeys builds mirrored key material for tests/benchmarks (the state

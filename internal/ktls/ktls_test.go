@@ -43,7 +43,7 @@ func connectTLS(t *testing.T, w *world, mode Mode) (cli, srv *tcpsim.Conn, cliCo
 	ck, sk := PairKeys(3)
 	var err error
 	srvCodec = nil
-	tcpsim.Listen(w.b, 443, tcpsim.Config{}, func() tcpsim.Codec {
+	tcpsim.Listen(w.b, 443, tcpsim.Config{}, func(uint32, uint16) tcpsim.Codec {
 		c, e := New(w.cm, mode, sk)
 		if e != nil {
 			t.Fatal(e)
@@ -55,7 +55,7 @@ func connectTLS(t *testing.T, w *world, mode Mode) (cli, srv *tcpsim.Conn, cliCo
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli = tcpsim.Dial(w.a, 0, tcpsim.Config{}, cliCodec, 2, 443, nil)
+	cli = tcpsim.Dial(w.a, 0, tcpsim.Config{}, func(uint16) tcpsim.Codec { return cliCodec }, 2, 443, nil)
 	w.eng.RunUntil(1 * sim.Millisecond)
 	if srv == nil {
 		t.Fatal("not connected")
@@ -74,6 +74,88 @@ func TestModeString(t *testing.T) {
 func TestNewValidatesKeys(t *testing.T) {
 	if _, err := New(cost.Default(), ModeKTLSSW, Keys{}); err == nil {
 		t.Fatal("empty keys accepted")
+	}
+}
+
+// TestConnKeysMirroredAndUnique: per-connection derivation produces a
+// usable mirrored pair (client TX = server RX and vice versa), is
+// deterministic, and never hands two connections — or two stacks on the
+// same connection — the same keys.
+func TestConnKeysMirroredAndUnique(t *testing.T) {
+	ck, sk := ConnKeys("ktls-sw", 1, 40001)
+	if !bytes.Equal(ck.TxKey, sk.RxKey) || !bytes.Equal(ck.TxIV, sk.RxIV) ||
+		!bytes.Equal(ck.RxKey, sk.TxKey) || !bytes.Equal(ck.RxIV, sk.TxIV) {
+		t.Fatal("ConnKeys pair is not mirrored")
+	}
+	if _, err := New(cost.Default(), ModeKTLSSW, ck); err != nil {
+		t.Fatalf("derived keys rejected: %v", err)
+	}
+	ck2, _ := ConnKeys("ktls-sw", 1, 40001)
+	if !bytes.Equal(ck.TxKey, ck2.TxKey) {
+		t.Fatal("ConnKeys not deterministic")
+	}
+	seen := map[string]string{string(ck.TxKey): "ktls-sw/1/40001"}
+	for _, c := range []struct {
+		label string
+		addr  uint32
+		port  uint16
+	}{
+		{"ktls-sw", 1, 40002}, // next stream, same client
+		{"ktls-sw", 2, 40001}, // same port, different host
+		{"tcpls", 1, 40001},   // same connection, different stack
+	} {
+		k, _ := ConnKeys(c.label, c.addr, c.port)
+		id := c.label + "/" + string(rune(c.addr)) + "/" + string(rune(c.port))
+		if prev, dup := seen[string(k.TxKey)]; dup {
+			t.Errorf("%s shares keys with %s", id, prev)
+		}
+		seen[string(k.TxKey)] = id
+	}
+}
+
+// TestConnKeysCarryTraffic: two connections with independently derived
+// keys exchange records end to end — the shared-key shortcut is gone
+// from the data path, not just from the constructors.
+func TestConnKeysCarryTraffic(t *testing.T) {
+	w := newWorld(9)
+	srvConns := map[*tcpsim.Conn][]byte{}
+	tcpsim.Listen(w.b, 443, tcpsim.Config{}, func(peerAddr uint32, peerPort uint16) tcpsim.Codec {
+		_, sk := ConnKeys("ktls-sw", peerAddr, peerPort)
+		c, err := New(w.cm, ModeKTLSSW, sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}, nil, func(c *tcpsim.Conn) {
+		c.OnMessage(func(m []byte) { srvConns[c] = append([]byte(nil), m...) })
+	})
+	var clis []*tcpsim.Conn
+	for i := 0; i < 2; i++ {
+		cli := tcpsim.Dial(w.a, i, tcpsim.Config{}, func(localPort uint16) tcpsim.Codec {
+			ck, _ := ConnKeys("ktls-sw", w.a.Addr, localPort)
+			c, err := New(w.cm, ModeKTLSSW, ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}, 2, 443, nil)
+		clis = append(clis, cli)
+	}
+	w.eng.RunUntil(1 * sim.Millisecond)
+	for i, cli := range clis {
+		msg := pattern(2000 + i)
+		w.eng.At(w.eng.Now(), func() { cli.SendMessage(msg) })
+		w.eng.Run()
+	}
+	if len(srvConns) != 2 {
+		t.Fatalf("server accepted %d connections, want 2", len(srvConns))
+	}
+	sizes := map[int]bool{}
+	for _, m := range srvConns {
+		sizes[len(m)] = true
+	}
+	if !sizes[2000] || !sizes[2001] {
+		t.Fatalf("per-connection decryption failed: got sizes %v", sizes)
 	}
 }
 

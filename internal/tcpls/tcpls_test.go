@@ -23,7 +23,7 @@ func TestTCPLSExchange(t *testing.T) {
 	eng, _, a, b, cm := testWorld(1)
 	ck, sk := ktls.PairKeys(7)
 	var srv *tcpsim.Conn
-	tcpsim.Listen(b, 443, tcpsim.Config{}, func() tcpsim.Codec {
+	tcpsim.Listen(b, 443, tcpsim.Config{}, func(uint32, uint16) tcpsim.Codec {
 		c, err := New(cm, sk)
 		if err != nil {
 			t.Fatal(err)
@@ -34,7 +34,7 @@ func TestTCPLSExchange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli := tcpsim.Dial(a, 0, tcpsim.Config{}, cc, 2, 443, nil)
+	cli := tcpsim.Dial(a, 0, tcpsim.Config{}, func(uint16) tcpsim.Codec { return cc }, 2, 443, nil)
 	eng.RunUntil(1 * sim.Millisecond)
 	if srv == nil {
 		t.Fatal("not connected")

@@ -22,18 +22,19 @@ type Endpoint struct {
 	cfg      Config
 	conns    map[connKey]*Conn
 	onAccept func(*Conn)
-	newCodec func() Codec
+	newCodec func(peerAddr uint32, peerPort uint16) Codec
 	pickThr  func() int
 }
 
 // Listen binds a server endpoint on host:port. newCodec builds each
-// accepted connection's codec (TLS state is per connection); pickThread
-// assigns the app thread that owns the connection (nil = least loaded at
-// accept time).
-func Listen(host *cpusim.Host, port uint16, cfg Config, newCodec func() Codec, pickThread func() int, onAccept func(*Conn)) *Endpoint {
+// accepted connection's codec (TLS state is per connection) and receives
+// the dialing peer's (address, ephemeral port) so key material can be
+// derived per connection rather than shared; pickThread assigns the app
+// thread that owns the connection (nil = least loaded at accept time).
+func Listen(host *cpusim.Host, port uint16, cfg Config, newCodec func(peerAddr uint32, peerPort uint16) Codec, pickThread func() int, onAccept func(*Conn)) *Endpoint {
 	cfg = withDefaults(cfg)
 	if newCodec == nil {
-		newCodec = func() Codec { return PlainCodec{} }
+		newCodec = func(uint32, uint16) Codec { return PlainCodec{} }
 	}
 	e := &Endpoint{
 		host: host, port: port, cfg: cfg,
@@ -44,14 +45,23 @@ func Listen(host *cpusim.Host, port uint16, cfg Config, newCodec func() Codec, p
 	return e
 }
 
-// Dial opens a connection from host (owned by appThread) to dst. The
-// established callback fires when the SYN/SYN-ACK exchange completes.
-func Dial(host *cpusim.Host, appThread int, cfg Config, codec Codec, dstAddr uint32, dstPort uint16, established func(*Conn)) *Conn {
+// Dial opens a connection from host (owned by appThread) to dst. newCodec
+// (nil = plaintext) builds the connection's codec and receives the local
+// ephemeral port — the client half of the 4-tuple both ends can derive
+// per-connection key material from. The established callback fires when
+// the SYN/SYN-ACK exchange completes.
+func Dial(host *cpusim.Host, appThread int, cfg Config, newCodec func(localPort uint16) Codec, dstAddr uint32, dstPort uint16, established func(*Conn)) *Conn {
 	cfg = withDefaults(cfg)
-	if codec == nil {
-		codec = PlainCodec{}
-	}
 	local := host.AllocPort()
+	var codec Codec = PlainCodec{}
+	if newCodec != nil {
+		codec = newCodec(local)
+		if codec == nil {
+			// A non-nil factory returning nil is a wiring bug; running the
+			// connection in plaintext would silently mislabel measurements.
+			panic("tcpsim: Dial codec factory returned nil")
+		}
+	}
 	conn := newConn(host, cfg, codec, local, dstAddr, dstPort, appThread)
 	e := &Endpoint{host: host, port: local, cfg: cfg, conns: map[connKey]*Conn{{dstAddr, dstPort}: conn}}
 	host.Bind(wire.ProtoTCP, local, e)
@@ -164,7 +174,13 @@ func (e *Endpoint) HandlePacket(pkt *wire.Packet, core int) {
 			} else {
 				thread = e.host.LeastLoadedApp()
 			}
-			c = newConn(e.host, e.cfg, e.newCodec(), e.port, pkt.IP.Src, pkt.Overlay.SrcPort, thread)
+			codec := e.newCodec(pkt.IP.Src, pkt.Overlay.SrcPort)
+			if codec == nil {
+				// Mirror Dial's contract: a factory that returns nil is a
+				// wiring bug, not a plaintext request.
+				panic("tcpsim: Listen codec factory returned nil")
+			}
+			c = newConn(e.host, e.cfg, codec, e.port, pkt.IP.Src, pkt.Overlay.SrcPort, thread)
 			c.core = core
 			e.conns[k] = c
 			e.sendCtl(c, 2)

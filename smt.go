@@ -17,6 +17,15 @@
 //	topo := smt.Topology{Hosts: 9, Switch: &smt.SwitchConfig{BufferBytes: 256 << 10}}
 //	world := smt.NewFabricWorld(seed, topo)          // Hosts[0..8]
 //
+// The systems under test are composable: a StackSpec crosses a
+// transport (tcp, homa) with a record layer (plain, tls-user, ktls-sw,
+// ktls-hw, tcpls, smt-sw, smt-hw), and BuildFabric assembles the
+// runnable stack or rejects an inexpressible cell with a descriptive
+// error:
+//
+//	spec, _ := smt.LookupStack("TCPLS")
+//	sys, err := smt.BuildFabric(spec)                // runs on any World
+//
 // Everything underneath lives in internal/: the discrete-event engine,
 // the host/NIC/network models, the Homa engine, the TCP/kTLS/TCPLS
 // baselines, and one experiment runner per table/figure of the paper
@@ -65,7 +74,31 @@ type (
 	// OpenLoop drives deterministic Poisson arrivals at a fixed offered
 	// rate and records latency and slowdown (the loadsweep methodology).
 	OpenLoop = workload.OpenLoop
+	// StackSpec names one transport × record-layer cell of the design
+	// space (Table 1); the stack registry holds the runnable ones.
+	StackSpec = experiments.StackSpec
+	// Transport selects the byte/message-moving layer of a StackSpec.
+	Transport = experiments.Transport
+	// RecordLayer selects the encryption placement of a StackSpec.
+	RecordLayer = experiments.RecordLayer
+	// FabricSystem is a composed stack wired for N-host Worlds.
+	FabricSystem = experiments.FabricSystem
 )
+
+// BuildFabric composes a runnable FabricSystem from a spec, or returns
+// a descriptive error for combinations the decomposition cannot express
+// (e.g. SMT records over TCP).
+func BuildFabric(spec StackSpec) (FabricSystem, error) { return experiments.BuildFabric(spec) }
+
+// LookupStack resolves a registered stack by name (case-insensitive):
+// TCP, kTLS-sw, kTLS-hw, TLS, TCPLS, Homa, SMT-sw, SMT-hw.
+func LookupStack(name string) (StackSpec, bool) { return experiments.LookupStack(name) }
+
+// Stacks returns every registered stack spec in registration order.
+func Stacks() []StackSpec { return experiments.Stacks() }
+
+// DefaultLineup is the six-stack lineup of the paper's §5 figures.
+func DefaultLineup() []StackSpec { return experiments.DefaultLineup() }
 
 // WebSearchMix returns the heavy-tailed message-size mix the loadsweep
 // experiment drives (mostly small messages; the largest carry most of
