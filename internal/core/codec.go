@@ -79,7 +79,41 @@ type Codec struct {
 	// context will expect next; a mismatch on submit requests a resync.
 	nicNext map[int]uint64
 
+	// segFree recycles encode segments (descriptor + payload scratch +
+	// record-descriptor slice); a segment is in flight from Encode until
+	// the NIC runs its Release. decBuf is the Decode output scratch —
+	// valid until the next Decode call on this codec.
+	segFree []*homa.Segment
+	decBuf  []byte
+
 	Stats CodecStats
+}
+
+// getSeg takes a pooled segment, its Release hook pre-bound.
+func (c *Codec) getSeg() *homa.Segment {
+	if l := len(c.segFree); l > 0 {
+		seg := c.segFree[l-1]
+		c.segFree[l-1] = nil
+		c.segFree = c.segFree[:l-1]
+		return seg
+	}
+	seg := &homa.Segment{}
+	seg.Release = func() {
+		seg.Payload = seg.Payload[:0]
+		seg.Records = seg.Records[:0]
+		seg.Resync = false
+		c.segFree = append(c.segFree, seg)
+	}
+	return seg
+}
+
+// grow returns b with length n, reusing capacity when possible. The
+// contents are unspecified; callers overwrite every byte.
+func grow(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
 }
 
 // NewCodec builds a session codec. hw selects NIC offload; sessionBase
@@ -163,9 +197,10 @@ func (c *Codec) WireLen(off, n int) int {
 // framed, sequenced with the composite (msgID ‖ recIdx) number, and either
 // sealed in software or described for the NIC crypto engine.
 func (c *Codec) Encode(msgID uint64, msg []byte, off, n, queue int, retransmit bool) (*homa.Segment, sim.Time) {
-	payload := make([]byte, c.WireLen(off, n))
+	seg := c.getSeg()
+	payload := grow(seg.Payload, c.WireLen(off, n))
 	var (
-		recs    []nicsim.RecordDesc
+		recs    = seg.Records[:0]
 		cpu     sim.Time
 		pos     int
 		recIdx  = uint64(off / RecSpan)
@@ -210,7 +245,7 @@ func (c *Codec) Encode(msgID uint64, msg []byte, off, n, queue int, retransmit b
 	}
 	c.Stats.SegmentsBuilt++
 
-	seg := &homa.Segment{Payload: payload}
+	seg.Payload = payload
 	if c.hw {
 		cpu += c.cm.OffloadMetaPerSeg
 		seg.Records = recs
@@ -231,9 +266,12 @@ func (c *Codec) Encode(msgID uint64, msg []byte, off, n, queue int, retransmit b
 // offsets, so segments decode independently and in any order; any
 // tampering, reordering across spaces, or NIC counter corruption fails
 // authentication here.
+//
+// The returned slice is codec-owned scratch, valid until the next Decode
+// call on this codec; callers copy or consume it immediately (the
+// transport appends it into the delivery buffer).
 func (c *Codec) Decode(msgID uint64, msgLen, off int, seg []byte) ([]byte, sim.Time, error) {
 	var (
-		out    []byte
 		cpu    = c.cm.SMTRxSegment
 		pos    int
 		recIdx = uint64(off / RecSpan)
@@ -248,7 +286,7 @@ func (c *Codec) Decode(msgID uint64, msgLen, off int, seg []byte) ([]byte, sim.T
 	if n > homa.DefaultSegSpan {
 		n = homa.DefaultSegSpan
 	}
-	out = make([]byte, 0, n)
+	out := c.decBuf[:0]
 	for done := 0; done < n; {
 		p := RecSpan
 		if n-done < p {
@@ -270,22 +308,25 @@ func (c *Codec) Decode(msgID uint64, msgLen, off int, seg []byte) ([]byte, sim.T
 		if err != nil {
 			return nil, cpu, err
 		}
-		plain, ct, err := c.rx.OpenRecord(seq, seg[hdrOff:hdrOff+recLen])
+		base := len(out)
+		ext, ct, err := c.rx.OpenRecordTo(out, seq, seg[hdrOff:hdrOff+recLen])
 		cpu += c.cm.CryptoSW(recLen)
 		if err != nil {
 			c.Stats.AuthFailures++
 			return nil, cpu, err
 		}
-		if ct != wire.RecordTypeApplicationData || len(plain) != p {
+		if ct != wire.RecordTypeApplicationData || len(ext)-base != p {
 			c.Stats.AuthFailures++
 			return nil, cpu, fmt.Errorf("core: unexpected record content")
 		}
 		c.Stats.RecordsOpened++
-		out = append(out, plain...)
+		out = ext
+		c.decBuf = out
 		pos = hdrOff + recLen
 		done += p
 		recIdx++
 	}
+	c.decBuf = out
 	return out, cpu, nil
 }
 

@@ -65,6 +65,26 @@ type Host struct {
 
 	// DroppedNoHandler counts packets with no bound handler.
 	DroppedNoHandler uint64
+
+	dispFree []*dispatchEvent // pooled softirq handoffs
+}
+
+// dispatchEvent is the pooled softirq handoff: one received packet
+// waiting for its steered core to finish the stack's RxCost.
+type dispatchEvent struct {
+	h    *Host
+	hd   Handler
+	pkt  *wire.Packet
+	core int
+}
+
+// Run implements sim.Action.
+func (d *dispatchEvent) Run() {
+	h, hd, pkt, core := d.h, d.hd, d.pkt, d.core
+	d.hd = nil
+	d.pkt = nil
+	h.dispFree = append(h.dispFree, d)
+	hd.HandlePacket(pkt, core)
 }
 
 // NewHost creates a host with the given core counts, attaches its NIC to
@@ -124,18 +144,30 @@ func (h *Host) AllocPort() uint16 {
 	return p
 }
 
-// dispatch is the NIC RX entry point: steer, charge, deliver.
+// dispatch is the NIC RX entry point: steer, charge, deliver. The packet
+// is owned by the handler from here on: HandlePacket (or work it runs
+// synchronously) must Release it once the payload has been consumed.
 func (h *Host) dispatch(pkt *wire.Packet) {
 	hd, ok := h.handlers[bindKey{pkt.IP.Protocol, pkt.Overlay.DstPort}]
 	if !ok {
 		h.DroppedNoHandler++
+		pkt.Release()
 		return
 	}
 	core := hd.SteerCore(pkt, len(h.Softirq))
 	if core < 0 || core >= len(h.Softirq) {
 		core = 0
 	}
-	h.Softirq[core].Acquire(hd.RxCost(pkt), func() { hd.HandlePacket(pkt, core) })
+	var d *dispatchEvent
+	if l := len(h.dispFree); l > 0 {
+		d = h.dispFree[l-1]
+		h.dispFree[l-1] = nil
+		h.dispFree = h.dispFree[:l-1]
+	} else {
+		d = &dispatchEvent{h: h}
+	}
+	d.hd, d.pkt, d.core = hd, pkt, core
+	h.Softirq[core].AcquireAction(hd.RxCost(pkt), d)
 }
 
 // RunApp charges cpu on application core (thread % len(App)) and runs fn

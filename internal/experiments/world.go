@@ -179,6 +179,10 @@ func serverThreads() []int {
 // record layer.
 func homaFabric(name string) FabricSystem {
 	return FabricSystem{Name: name, Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) (func(int, int, uint64, int, int), error) {
+		// encBuf is the world's RPC-payload scratch: the transports copy
+		// the payload synchronously in Send, and the whole world runs on
+		// one goroutine, so one buffer serves every send.
+		var encBuf []byte
 		srv := homa.NewSocket(server, homa.Config{Port: ServerPort, MTU: cfg.MTU, NoTSO: cfg.NoTSO, AppThreads: serverThreads()}, nil)
 		srv.OnMessage(func(d homa.Delivery) {
 			id, respSize, err := rpc.Decode(d.Payload)
@@ -186,7 +190,8 @@ func homaFabric(name string) FabricSystem {
 				return
 			}
 			server.RunApp(d.AppThread, w.CM.AppLogic, func() {
-				srv.Send(d.Src, d.SrcPort, rpc.Encode(id, 0, int(respSize)), d.AppThread)
+				encBuf = rpc.AppendEncode(encBuf, id, 0, int(respSize))
+				srv.Send(d.Src, d.SrcPort, encBuf, d.AppThread)
 			})
 		})
 		clis := make([]*homa.Socket, len(clients))
@@ -201,7 +206,8 @@ func homaFabric(name string) FabricSystem {
 			clis[ci] = cli
 		}
 		return func(client, stream int, reqID uint64, size, respSize int) {
-			clis[client].Send(server.Addr, ServerPort, rpc.Encode(reqID, uint32(respSize), size), stream%AppThreads)
+			encBuf = rpc.AppendEncode(encBuf, reqID, uint32(respSize), size)
+			clis[client].Send(server.Addr, ServerPort, encBuf, stream%AppThreads)
 		}, nil
 	}}
 }
@@ -211,6 +217,7 @@ func homaFabric(name string) FabricSystem {
 // on transmit when hw is set).
 func smtFabric(name string, hw bool) FabricSystem {
 	return FabricSystem{Name: name, Setup: func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) (func(int, int, uint64, int, int), error) {
+		var encBuf []byte // world-scoped RPC scratch (see homaFabric)
 		srv := core.NewSocket(server, core.Config{
 			Transport: homa.Config{Port: ServerPort, MTU: cfg.MTU, NoTSO: cfg.NoTSO, AppThreads: serverThreads()},
 			HWOffload: hw,
@@ -240,11 +247,13 @@ func smtFabric(name string, hw bool) FabricSystem {
 				return
 			}
 			server.RunApp(d.AppThread, w.CM.AppLogic, func() {
-				srv.Send(d.Src, d.SrcPort, rpc.Encode(id, 0, int(respSize)), d.AppThread)
+				encBuf = rpc.AppendEncode(encBuf, id, 0, int(respSize))
+				srv.Send(d.Src, d.SrcPort, encBuf, d.AppThread)
 			})
 		})
 		return func(client, stream int, reqID uint64, size, respSize int) {
-			clis[client].Send(server.Addr, ServerPort, rpc.Encode(reqID, uint32(respSize), size), stream%AppThreads)
+			encBuf = rpc.AppendEncode(encBuf, reqID, uint32(respSize), size)
+			clis[client].Send(server.Addr, ServerPort, encBuf, stream%AppThreads)
 		}, nil
 	}}
 }
@@ -263,6 +272,7 @@ func tcpFabricFamily(name string, rec *streamRecord) FabricSystem {
 				return nil, fmt.Errorf("%s: %w", name, err)
 			}
 		}
+		var encBuf []byte // world-scoped RPC scratch (see homaFabric)
 		tcfg := tcpsim.Config{MTU: cfg.MTU}
 		nextThread := 0
 		var srvCodec func(peerAddr uint32, peerPort uint16) tcpsim.Codec
@@ -283,7 +293,8 @@ func tcpFabricFamily(name string, rec *streamRecord) FabricSystem {
 					return
 				}
 				server.RunApp(c.AppThread(), w.CM.AppLogic, func() {
-					c.SendMessage(rpc.Encode(id, 0, int(respSize)))
+					encBuf = rpc.AppendEncode(encBuf, id, 0, int(respSize))
+					c.SendMessage(encBuf)
 				})
 			})
 		})
@@ -312,7 +323,8 @@ func tcpFabricFamily(name string, rec *streamRecord) FabricSystem {
 		// Pre-establish all connections before measurement.
 		w.Eng.RunUntil(w.Eng.Now() + 5*sim.Millisecond)
 		return func(client, stream int, reqID uint64, size, respSize int) {
-			conns[client][stream].SendMessage(rpc.Encode(reqID, uint32(respSize), size))
+			encBuf = rpc.AppendEncode(encBuf, reqID, uint32(respSize), size)
+			conns[client][stream].SendMessage(encBuf)
 		}, nil
 	}}
 }

@@ -50,6 +50,11 @@ type Segment struct {
 	CtxID   uint64
 	Keys    *tlsrec.AEAD
 	Resync  bool
+	// Release, when non-nil, recycles the segment (and any codec-owned
+	// payload scratch backing it) once the NIC has copied the payload
+	// out. The transport threads it through to nicsim.TxSegment.Release;
+	// after it runs, Payload and Records must not be touched.
+	Release func()
 }
 
 // PlainCodec is vanilla Homa: payload bytes go on the wire untouched.
@@ -76,7 +81,9 @@ func (c *PlainCodec) SegSpan() int {
 // WireLen implements Codec: identity.
 func (c *PlainCodec) WireLen(off, n int) int { return n }
 
-// Encode implements Codec: the segment payload aliases the message bytes.
+// Encode implements Codec: the segment payload aliases the message bytes
+// (the transport keeps them alive until the message is acknowledged, so
+// the NIC's zero-copy cut is safe; Release stays nil).
 func (c *PlainCodec) Encode(msgID uint64, msg []byte, off, n, queue int, retransmit bool) (*Segment, sim.Time) {
 	return &Segment{Payload: msg[off : off+n]}, 0
 }

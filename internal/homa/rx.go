@@ -29,7 +29,26 @@ type inMsg struct {
 	granted   int
 	delivered bool
 	core      int // softirq core affinity
-	timer     *sim.Timer
+	timer     sim.Timer
+	timerFn   func() // prebuilt resend-timeout callback (one per message)
+}
+
+// rxEvent is the pooled softirq handoff for a DATA packet redistributed
+// to its message's protocol core. It owns the packet and releases it
+// after rxData has copied the payload into the reassembly buffer.
+type rxEvent struct {
+	s    *Socket
+	pkt  *wire.Packet
+	core int
+}
+
+// Run implements sim.Action.
+func (r *rxEvent) Run() {
+	s, pkt, core := r.s, r.pkt, r.core
+	r.pkt = nil
+	s.rxFree = append(s.rxFree, r)
+	s.rxData(pkt, core)
+	pkt.Release()
 }
 
 // handler adapts Socket to cpusim.Handler. It is the softirq half of the
@@ -86,16 +105,30 @@ func (h *handler) HandlePacket(pkt *wire.Packet, core int) {
 			s.msgCore[k] = msgCore
 			cost += cm.HomaRxMsgFixed
 		}
-		s.host.RunSoftirq(msgCore, cost, func() { s.rxData(pkt, msgCore) })
+		var r *rxEvent
+		if l := len(s.rxFree); l > 0 {
+			r = s.rxFree[l-1]
+			s.rxFree[l-1] = nil
+			s.rxFree = s.rxFree[:l-1]
+		} else {
+			r = &rxEvent{s: s}
+		}
+		r.pkt, r.core = pkt, msgCore
+		s.host.Softirq[msgCore%len(s.host.Softirq)].AcquireAction(cost, r)
 	case wire.TypeGrant:
 		s.rxGrant(pkt, core)
+		pkt.Release()
 	case wire.TypeResend:
 		s.rxResend(pkt, core)
+		pkt.Release()
 	case wire.TypeAck:
 		s.rxAck(pkt)
+		pkt.Release()
 	case wire.TypeBusy:
 		// Reserved: the peer signals it is alive but not sending yet.
+		pkt.Release()
 	case wire.TypeHandshake:
+		// Not released: the key-exchange layer may retain the payload.
 		if s.onHandshake != nil {
 			s.onHandshake(pkt, core)
 		}
@@ -187,7 +220,7 @@ func (s *Socket) newInMsg(p *peer, pkt *wire.Packet, core int) *inMsg {
 		wl := p.codec.WireLen(off, n)
 		m.segs = append(m.segs, &inSeg{
 			plainOff: off, plainLen: n, wireLen: wl,
-			buf:  make([]byte, wl),
+			buf:  s.getSegBuf(wl),
 			have: make([]bool, nPkts(wl, s.cfg.MTU)),
 		})
 	}
@@ -233,9 +266,7 @@ func (s *Socket) progress(p *peer, m *inMsg, core int) {
 		if want > m.granted {
 			m.granted = want
 			s.Stats.GrantsSent++
-			s.host.RunSoftirq(core, s.host.CM.HomaGrant, func() {
-				s.ctrl(m.pk, wire.TypeGrant, m.id, 0, uint32(want), core)
-			})
+			s.deferCtrl(s.host.CM.HomaGrant, m.pk, wire.TypeGrant, m.id, 0, uint32(want), core)
 		}
 	}
 }
@@ -250,14 +281,12 @@ func (s *Socket) complete(p *peer, m *inMsg, core int) {
 		return
 	}
 	m.delivered = true
-	if m.timer != nil {
-		m.timer.Stop()
-	}
+	m.timer.Stop()
 	cm := s.host.CM
 	s.host.RunSoftirq(core, cm.WakeupCPU, nil)
 
 	thread := s.pickAppThread()
-	s.host.Eng.After(cm.WakeupLatency, func() {
+	s.host.Eng.PostAfter(cm.WakeupLatency, func() {
 		// Decode (and decrypt) each segment, summing the CPU the app
 		// context owes; a corrupted segment re-enters recovery.
 		var cpu sim.Time = cm.Syscall + cm.MsgDeliver + cm.Copy(m.msgLen)
@@ -275,6 +304,12 @@ func (s *Socket) complete(p *peer, m *inMsg, core int) {
 		delete(s.msgCore, msgKey{m.pk, m.id})
 		p.markDone(m.id)
 		s.activeIn--
+		// Every segment decoded (and its plaintext copied into payload):
+		// the reassembly buffers go back to the pool.
+		for _, seg := range m.segs {
+			s.segBufFree = append(s.segBufFree, seg.buf)
+			seg.buf = nil
+		}
 		s.host.RunApp(thread, cpu, func() {
 			s.ctrl(m.pk, wire.TypeAck, m.id, 0, 0, core)
 			s.Stats.MsgsDelivered++
@@ -326,22 +361,22 @@ func (s *Socket) pickAppThread() int {
 // message is still incomplete when it fires, RESEND the first incomplete
 // segment.
 func (s *Socket) armResendTimer(p *peer, m *inMsg) {
-	if m.timer != nil {
-		m.timer.Stop()
-	}
-	m.timer = s.host.Eng.After(s.cfg.ResendTimeout, func() {
-		if m.delivered {
-			return
-		}
-		for _, seg := range m.segs {
-			if !seg.complete && seg.plainOff < m.granted {
-				s.Stats.ResendsSent++
-				s.ctrl(m.pk, wire.TypeResend, m.id, uint32(seg.plainOff), uint32(seg.plainLen), m.core)
-				break
+	if m.timerFn == nil {
+		m.timerFn = func() {
+			if m.delivered {
+				return
 			}
+			for _, seg := range m.segs {
+				if !seg.complete && seg.plainOff < m.granted {
+					s.Stats.ResendsSent++
+					s.ctrl(m.pk, wire.TypeResend, m.id, uint32(seg.plainOff), uint32(seg.plainLen), m.core)
+					break
+				}
+			}
+			s.armResendTimer(p, m)
 		}
-		s.armResendTimer(p, m)
-	})
+	}
+	s.host.Eng.ResetAfter(&m.timer, s.cfg.ResendTimeout, m.timerFn)
 }
 
 // rxGrant lets the sender push more segments from the pacer (softirq)
@@ -396,9 +431,7 @@ func (s *Socket) rxAck(pkt *wire.Packet) {
 	}
 	if m, ok := p.out[pkt.Overlay.MsgID]; ok {
 		m.acked = true
-		if m.timer != nil {
-			m.timer.Stop()
-		}
+		m.timer.Stop()
 		delete(p.out, pkt.Overlay.MsgID)
 	}
 }

@@ -94,6 +94,12 @@ type Socket struct {
 	// activeIn counts registered-but-undelivered incoming messages,
 	// driving the SRPT bookkeeping cost.
 	activeIn int
+	// rxFree / ctrlFree recycle the pooled softirq callbacks of the
+	// receive path; segBufFree recycles segment reassembly buffers
+	// (returned when a message completes). Single goroutine, no sync.
+	rxFree     []*rxEvent
+	ctrlFree   []*ctrlEvent
+	segBufFree [][]byte
 	// groLastMsg/groLastRx track homa_gro aggregation state.
 	groLastMsg msgKey
 	groLastRx  sim.Time
@@ -192,14 +198,13 @@ func (s *Socket) OnHandshake(fn func(*wire.Packet, int)) { s.onHandshake = fn }
 // SendHandshake transmits a single-packet handshake payload to a peer
 // from softirq context (first-RTT key exchange traffic).
 func (s *Socket) SendHandshake(dstAddr uint32, dstPort uint16, payload []byte, core int) {
-	pkt := &wire.Packet{
-		IP: wire.IPv4Header{TTL: 64, Protocol: s.cfg.Proto, Src: s.host.Addr, Dst: dstAddr},
-		Overlay: wire.OverlayHeader{
-			SrcPort: s.port, DstPort: dstPort,
-			Type: wire.TypeHandshake, MsgLen: uint32(len(payload)),
-		},
-		Payload: append([]byte(nil), payload...),
+	pkt := s.host.NIC.AcquirePacket()
+	pkt.IP = wire.IPv4Header{TTL: 64, Protocol: s.cfg.Proto, Src: s.host.Addr, Dst: dstAddr}
+	pkt.Overlay = wire.OverlayHeader{
+		SrcPort: s.port, DstPort: dstPort,
+		Type: wire.TypeHandshake, MsgLen: uint32(len(payload)),
 	}
+	pkt.SetPayload(payload)
 	s.host.NIC.SendSegment(s.host.SoftirqQueue(core), &nicsim.TxSegment{Pkt: pkt, MTU: s.cfg.MTU, NoTSO: true})
 }
 
@@ -209,6 +214,21 @@ func (s *Socket) Close() {
 		s.host.Unbind(s.cfg.Proto, s.port)
 		s.closed = true
 	}
+}
+
+// getSegBuf takes an n-byte reassembly buffer from the free list. The
+// contents are unspecified: a segment is only decoded once every packet
+// has landed, at which point every byte has been overwritten.
+func (s *Socket) getSegBuf(n int) []byte {
+	if l := len(s.segBufFree); l > 0 {
+		b := s.segBufFree[l-1]
+		s.segBufFree[l-1] = nil
+		s.segBufFree = s.segBufFree[:l-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
 }
 
 func (s *Socket) peerFor(pk peerKey) *peer {
@@ -251,7 +271,8 @@ type outMsg struct {
 	granted   int
 	acked     bool
 	appThread int
-	timer     *sim.Timer
+	timer     sim.Timer
+	timerFn   func() // prebuilt sender-timeout callback (one per message)
 }
 
 // nSegs returns the number of TSO segments for a message of n plaintext
@@ -362,69 +383,113 @@ func (s *Socket) toNIC(p *peer, m *outMsg, enc *Segment, off, n, queue int, retr
 			// segment through TSO with a resync descriptor (the
 			// kTLS-style retransmit path, §3.2). Duplicate packets are
 			// discarded by the receiver.
-			pkt := &wire.Packet{IP: ip, Overlay: hdr, Payload: enc.Payload}
+			pkt := s.host.NIC.AcquirePacket()
+			pkt.IP, pkt.Overlay = ip, hdr
+			pkt.Payload = enc.Payload // borrowed until emit; Release recycles
 			s.host.NIC.SendSegment(queue, &nicsim.TxSegment{
 				Pkt: pkt, MTU: s.cfg.MTU,
 				Records: enc.Records, Keys: enc.Keys, CtxID: enc.CtxID, Resync: true,
+				Release: enc.Release,
 			})
 			return
 		}
 		// Software path: packets are cut in software and carry their
 		// original intra-segment offset in the Resend-packet-offset field
 		// of the overlay header (§4.3), since a lone packet's IPID no
-		// longer encodes its position.
+		// longer encodes its position. The cuts copy, so the codec
+		// segment is recycled as soon as the loop ends.
 		per := s.cfg.MTU - wire.IPv4HeaderLen - wire.OverlayHeaderLen
 		for i, pos := 0, 0; pos < len(enc.Payload); i, pos = i+1, pos+per {
 			end := pos + per
 			if end > len(enc.Payload) {
 				end = len(enc.Payload)
 			}
-			pkt := &wire.Packet{IP: ip, Overlay: hdr}
+			pkt := s.host.NIC.AcquirePacket()
+			pkt.IP, pkt.Overlay = ip, hdr
 			pkt.Overlay.Flags |= wire.FlagRetransmit
 			pkt.Overlay.ResendPktOff = uint16(i)
-			pkt.Payload = enc.Payload[pos:end]
+			pkt.SetPayload(enc.Payload[pos:end])
 			s.host.NIC.SendSegment(queue, &nicsim.TxSegment{Pkt: pkt, MTU: s.cfg.MTU, NoTSO: true})
+		}
+		if enc.Release != nil {
+			enc.Release()
 		}
 		return
 	}
 
-	pkt := &wire.Packet{IP: ip, Overlay: hdr, Payload: enc.Payload}
+	pkt := s.host.NIC.AcquirePacket()
+	pkt.IP, pkt.Overlay = ip, hdr
+	pkt.Payload = enc.Payload // borrowed until emit; Release recycles
 	s.host.NIC.SendSegment(queue, &nicsim.TxSegment{
 		Pkt: pkt, MTU: s.cfg.MTU, NoTSO: false,
 		Records: enc.Records, Keys: enc.Keys, CtxID: enc.CtxID, Resync: enc.Resync,
+		Release: enc.Release,
 	})
 }
 
 func (s *Socket) armSenderTimer(p *peer, m *outMsg) {
-	if m.timer != nil {
-		m.timer.Stop()
+	if m.timerFn == nil {
+		m.timerFn = func() {
+			if m.acked {
+				return
+			}
+			// No ACK: re-push the first segment to re-trigger the receiver.
+			span := p.codec.SegSpan()
+			n := span
+			if n > len(m.payload) {
+				n = len(m.payload)
+			}
+			s.submitSegment(p, m, 0, n, s.host.SoftirqQueue(0), 0, false, true)
+			s.armSenderTimer(p, m)
+		}
 	}
-	m.timer = s.host.Eng.After(s.cfg.SenderTimeout, func() {
-		if m.acked {
-			return
-		}
-		// No ACK: re-push the first segment to re-trigger the receiver.
-		span := p.codec.SegSpan()
-		n := span
-		if n > len(m.payload) {
-			n = len(m.payload)
-		}
-		s.submitSegment(p, m, 0, n, s.host.SoftirqQueue(0), 0, false, true)
-		s.armSenderTimer(p, m)
-	})
+	s.host.Eng.ResetAfter(&m.timer, s.cfg.SenderTimeout, m.timerFn)
 }
 
 // ctrl sends a small control packet (GRANT/RESEND/ACK/BUSY) from softirq
 // core context.
 func (s *Socket) ctrl(pk peerKey, ty wire.PacketType, msgID uint64, off uint32, aux uint32, core int) {
-	pkt := &wire.Packet{
-		IP: wire.IPv4Header{TTL: 64, Protocol: s.cfg.Proto, Src: s.host.Addr, Dst: pk.addr},
-		Overlay: wire.OverlayHeader{
-			SrcPort: s.port, DstPort: pk.port,
-			Type: ty, MsgID: msgID, TSOOffset: off, Aux: aux,
-		},
+	pkt := s.host.NIC.AcquirePacket()
+	pkt.IP = wire.IPv4Header{TTL: 64, Protocol: s.cfg.Proto, Src: s.host.Addr, Dst: pk.addr}
+	pkt.Overlay = wire.OverlayHeader{
+		SrcPort: s.port, DstPort: pk.port,
+		Type: ty, MsgID: msgID, TSOOffset: off, Aux: aux,
 	}
 	s.host.NIC.SendSegment(s.host.SoftirqQueue(core), &nicsim.TxSegment{Pkt: pkt, MTU: s.cfg.MTU, NoTSO: true})
+}
+
+// ctrlEvent is the pooled deferred-ctrl callback (grants issued after the
+// softirq grant cost).
+type ctrlEvent struct {
+	s    *Socket
+	pk   peerKey
+	ty   wire.PacketType
+	id   uint64
+	off  uint32
+	aux  uint32
+	core int
+}
+
+// Run implements sim.Action.
+func (c *ctrlEvent) Run() {
+	s := c.s
+	s.ctrl(c.pk, c.ty, c.id, c.off, c.aux, c.core)
+	s.ctrlFree = append(s.ctrlFree, c)
+}
+
+// deferCtrl charges cost on the softirq core, then sends the control
+// packet — the pooled equivalent of RunSoftirq with a ctrl closure.
+func (s *Socket) deferCtrl(cost sim.Time, pk peerKey, ty wire.PacketType, msgID uint64, off, aux uint32, core int) {
+	var c *ctrlEvent
+	if l := len(s.ctrlFree); l > 0 {
+		c = s.ctrlFree[l-1]
+		s.ctrlFree[l-1] = nil
+		s.ctrlFree = s.ctrlFree[:l-1]
+	} else {
+		c = &ctrlEvent{s: s}
+	}
+	c.pk, c.ty, c.id, c.off, c.aux, c.core = pk, ty, msgID, off, aux, core
+	s.host.Softirq[core%len(s.host.Softirq)].AcquireAction(cost, c)
 }
 
 // String describes the socket for debugging.

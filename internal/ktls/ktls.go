@@ -72,7 +72,8 @@ type Codec struct {
 	txSeq tlsrec.StreamSeq
 	rxSeq tlsrec.StreamSeq
 
-	rxBuf []byte // partial record accumulation
+	rxBuf  []byte // partial record accumulation
+	outBuf []byte // DecodeStream scratch, valid until the next call
 
 	// Stats
 	RecordsSealed uint64
@@ -152,25 +153,33 @@ func (c *Codec) EncodeStream(data []byte) ([]tcpsim.Chunk, sim.Time) {
 }
 
 // DecodeStream implements tcpsim.Codec: accumulate ciphertext, open
-// complete records in order.
+// complete records in order. The returned slice is codec-owned scratch,
+// valid until the next DecodeStream call; the connection consumes it
+// before decoding again.
 func (c *Codec) DecodeStream(data []byte) ([]byte, sim.Time, error) {
 	c.rxBuf = append(c.rxBuf, data...)
 	var (
-		out  []byte
+		out  = c.outBuf[:0]
 		cpu  sim.Time
 		recs int
+		pos  int
 	)
+	defer func() {
+		// Compact the consumed prefix so rxBuf's capacity is reused.
+		c.rxBuf = append(c.rxBuf[:0], c.rxBuf[pos:]...)
+		c.outBuf = out[:0]
+	}()
 	for {
 		var hdr wire.RecordHeader
-		if err := hdr.DecodeFromBytes(c.rxBuf); err != nil {
+		if err := hdr.DecodeFromBytes(c.rxBuf[pos:]); err != nil {
 			break // incomplete header
 		}
 		total := wire.RecordHeaderLen + int(hdr.Length)
-		if len(c.rxBuf) < total {
+		if len(c.rxBuf)-pos < total {
 			break // incomplete record: must wait (no partial decrypt)
 		}
 		seq := c.rxSeq.Next()
-		plain, ct, err := c.rx.OpenRecord(seq, c.rxBuf[:total])
+		ext, ct, err := c.rx.OpenRecordTo(out, seq, c.rxBuf[pos:pos+total])
 		cpu += c.cm.CryptoSW(total) + c.perRecordCost()
 		if recs > 0 {
 			// Stream abstraction tax: the application's read loop issues
@@ -184,12 +193,12 @@ func (c *Codec) DecodeStream(data []byte) ([]byte, sim.Time, error) {
 			c.AuthFailures++
 			return out, cpu, ErrAuth
 		}
+		out = ext
 		c.RecordsOpened++
 		if c.mode == ModeUserTLS {
 			cpu += c.cm.Copy(total) + c.cm.Syscall
 		}
-		out = append(out, plain...)
-		c.rxBuf = c.rxBuf[total:]
+		pos += total
 	}
 	return out, cpu, nil
 }

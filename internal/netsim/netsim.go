@@ -79,6 +79,72 @@ type egressPort struct {
 	busy  bool
 }
 
+// hop stages for the pooled hopEvent.
+const (
+	hopDeliver  = iota // arrival at the destination NIC
+	hopSwitchIn        // switching latency done: enqueue at egress port
+	hopDrain           // egress serialization done: hand to final hop
+)
+
+// hopEvent is a pooled sim.Action standing in for the per-hop closures of
+// the delivery path: one struct carries a packet through a scheduling
+// delay and back into the network, and returns to the per-Network free
+// list when it runs. This keeps the steady-state fabric allocation-free.
+type hopEvent struct {
+	n     *Network
+	pkt   *wire.Packet
+	dst   func(*wire.Packet) // hopDeliver: receiving NIC entry point
+	port  *egressPort        // switch stages
+	stage uint8
+}
+
+// Run implements sim.Action.
+func (h *hopEvent) Run() {
+	n := h.n
+	switch h.stage {
+	case hopDeliver:
+		dst, pkt := h.dst, h.pkt
+		n.putHop(h)
+		dst(pkt)
+	case hopSwitchIn:
+		p, pkt := h.port, h.pkt
+		n.putHop(h)
+		p.queue = append(p.queue, pkt)
+		n.drainPort(p)
+	case hopDrain:
+		p, pkt := h.port, h.pkt
+		n.putHop(h)
+		p.busy = false
+		n.bufUsed -= pkt.WireLen()
+		if dst, ok := n.eps[pkt.IP.Dst]; ok {
+			n.finalHop(pkt, dst, 0)
+		} else {
+			n.Dropped.Add(1, uint64(pkt.WireLen()))
+			pkt.Release()
+		}
+		n.drainPort(p)
+	}
+}
+
+// getHop takes a hop event from the free list.
+func (n *Network) getHop() *hopEvent {
+	if l := len(n.hopFree); l > 0 {
+		h := n.hopFree[l-1]
+		n.hopFree[l-1] = nil
+		n.hopFree = n.hopFree[:l-1]
+		return h
+	}
+	return &hopEvent{n: n}
+}
+
+// putHop recycles a hop event.
+func (n *Network) putHop(h *hopEvent) {
+	h.pkt = nil
+	h.dst = nil
+	h.port = nil
+	n.hopFree = append(n.hopFree, h)
+}
+
 // Network connects endpoints addressed by IPv4-style uint32 addresses.
 // The default wiring is ideal (no contention, matching the paper's
 // back-to-back testbed); Topology.Build with a SwitchConfig inserts an
@@ -93,6 +159,12 @@ type Network struct {
 	ports   map[uint32]*egressPort
 	bufUsed int
 
+	// pool recycles packets (and their payload storage) across the whole
+	// world attached to this network; hopFree recycles the per-hop
+	// scheduling actions. Both are single-goroutine free lists.
+	pool    wire.PacketPool
+	hopFree []*hopEvent
+
 	// LossProb drops each packet independently with this probability.
 	LossProb float64
 	// DupProb delivers an extra copy of the packet.
@@ -106,10 +178,14 @@ type Network struct {
 
 	// Delivered / Dropped count packets and bytes for observability.
 	// SwitchDrops counts the subset of Dropped lost to shared-buffer
-	// overflow at the switch.
+	// overflow at the switch. Duplicated counts the extra copies DupProb
+	// injects; they are also counted in Delivered, so
+	// Delivered = unique deliveries + Duplicated and byte accounting
+	// balances.
 	Delivered   stats.Counter
 	Dropped     stats.Counter
 	SwitchDrops stats.Counter
+	Duplicated  stats.Counter
 	// QueueDepth tracks the shared-buffer occupancy (bytes) sampled at
 	// every switch enqueue, for congestion observability.
 	QueueDepth stats.Histogram
@@ -124,6 +200,12 @@ func New(eng *sim.Engine, cm *cost.Model) *Network {
 
 // Switched reports whether packets cross an output-queued switch.
 func (n *Network) Switched() bool { return n.sw != nil }
+
+// AcquirePacket takes a reset packet from the network's free list. The
+// caller owns it until it hands it to Deliver (via a NIC); the final
+// consumer — or any drop point — returns it with Packet.Release. See the
+// ownership rules in ARCHITECTURE.md ("Performance").
+func (n *Network) AcquirePacket() *wire.Packet { return n.pool.Get() }
 
 // BufferUsed reports the switch shared-buffer occupancy in bytes.
 func (n *Network) BufferUsed() int { return n.bufUsed }
@@ -145,10 +227,12 @@ func (n *Network) Deliver(pkt *wire.Packet) {
 	dst, ok := n.eps[pkt.IP.Dst]
 	if !ok || n.Partitioned {
 		n.Dropped.Add(1, uint64(pkt.WireLen()))
+		pkt.Release()
 		return
 	}
 	if n.LossProb > 0 && n.eng.Rand().Float64() < n.LossProb {
 		n.Dropped.Add(1, uint64(pkt.WireLen()))
+		pkt.Release()
 		return
 	}
 	if n.sw != nil {
@@ -167,10 +251,17 @@ func (n *Network) finalHop(pkt *wire.Packet, dst func(*wire.Packet), extra sim.T
 		delay += n.ReorderDelay
 	}
 	n.Delivered.Add(1, uint64(pkt.WireLen()))
-	n.eng.At(n.eng.Now()+delay, func() { dst(pkt) })
+	h := n.getHop()
+	h.stage, h.pkt, h.dst = hopDeliver, pkt, dst
+	n.eng.PostAction(n.eng.Now()+delay, h)
 	if n.DupProb > 0 && n.eng.Rand().Float64() < n.DupProb {
-		dup := pkt.Clone()
-		n.eng.At(n.eng.Now()+delay+sim.Microsecond, func() { dst(dup) })
+		dup := n.pool.Get()
+		dup.CopyFrom(pkt)
+		n.Delivered.Add(1, uint64(dup.WireLen()))
+		n.Duplicated.Add(1, uint64(dup.WireLen()))
+		hd := n.getHop()
+		hd.stage, hd.pkt, hd.dst = hopDeliver, dup, dst
+		n.eng.PostAction(n.eng.Now()+delay+sim.Microsecond, hd)
 	}
 }
 
@@ -181,6 +272,7 @@ func (n *Network) switchEnqueue(pkt *wire.Packet) {
 	if max := n.sw.BufferBytes; max > 0 && n.bufUsed+size > max {
 		n.Dropped.Add(1, uint64(size))
 		n.SwitchDrops.Add(1, uint64(size))
+		pkt.Release()
 		return
 	}
 	n.bufUsed += size
@@ -195,10 +287,9 @@ func (n *Network) switchEnqueue(pkt *wire.Packet) {
 		lat = DefaultSwitchLatency
 	}
 	// Switching latency before the packet reaches its egress queue.
-	n.eng.After(lat, func() {
-		p.queue = append(p.queue, pkt)
-		n.drainPort(p)
-	})
+	h := n.getHop()
+	h.stage, h.pkt, h.port = hopSwitchIn, pkt, p
+	n.eng.PostActionAfter(lat, h)
 }
 
 // drainPort serializes the head-of-line packet onto the egress link at
@@ -215,14 +306,7 @@ func (n *Network) drainPort(p *egressPort) {
 		rate = n.cm.LinkGbps
 	}
 	ser := sim.Time(float64(pkt.WireLen()) * 8 / rate)
-	n.eng.After(ser, func() {
-		p.busy = false
-		n.bufUsed -= pkt.WireLen()
-		if dst, ok := n.eps[pkt.IP.Dst]; ok {
-			n.finalHop(pkt, dst, 0)
-		} else {
-			n.Dropped.Add(1, uint64(pkt.WireLen()))
-		}
-		n.drainPort(p)
-	})
+	h := n.getHop()
+	h.stage, h.pkt, h.port = hopDrain, pkt, p
+	n.eng.PostActionAfter(ser, h)
 }

@@ -78,13 +78,24 @@ func TestPartition(t *testing.T) {
 func TestDuplication(t *testing.T) {
 	eng := sim.NewEngine(3)
 	n := New(eng, cost.Default())
-	got := 0
-	n.Attach(2, func(p *wire.Packet) { got++ })
+	got, bytes := 0, uint64(0)
+	n.Attach(2, func(p *wire.Packet) { got++; bytes += uint64(p.WireLen()) })
 	n.DupProb = 1.0
 	eng.At(0, func() { n.Deliver(pkt(2)) })
 	eng.Run()
 	if got != 2 {
 		t.Fatalf("got %d deliveries, want 2", got)
+	}
+	// Byte accounting balances: the extra copy is counted both in
+	// Delivered and in Duplicated.
+	if n.Delivered.N != 2 || n.Duplicated.N != 1 {
+		t.Fatalf("Delivered.N = %d, Duplicated.N = %d; want 2, 1", n.Delivered.N, n.Duplicated.N)
+	}
+	if n.Delivered.Bytes != bytes {
+		t.Fatalf("Delivered.Bytes = %d, receiver saw %d", n.Delivered.Bytes, bytes)
+	}
+	if n.Delivered.Bytes-n.Duplicated.Bytes != bytes/2 {
+		t.Fatalf("unique bytes = %d, want %d", n.Delivered.Bytes-n.Duplicated.Bytes, bytes/2)
 	}
 }
 

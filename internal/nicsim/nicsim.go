@@ -59,6 +59,23 @@ type TxSegment struct {
 	// OnWire, if non-nil, runs when the segment's last packet has been
 	// serialized onto the link.
 	OnWire func()
+
+	// Release selects the payload ownership mode of the TSO cut.
+	//
+	// Non-nil: the payload is recyclable scratch — the cut copies the
+	// bytes into pool-owned per-packet buffers, then Release fires so
+	// the producer can reuse the buffer. Only valid for buffers that are
+	// written once and never mutated while packets are in flight.
+	//
+	// Nil: the cut packets alias the payload directly (zero copy). The
+	// producer must keep the memory alive until every packet has been
+	// consumed — and note that later in-place mutation (the kTLS-style
+	// retransmit re-seal) is visible to packets still in flight, exactly
+	// as on the pre-pooling data path.
+	//
+	// Release is not invoked for NoTSO segments — there the packet
+	// itself carries the payload to the receiver.
+	Release func()
 }
 
 // tlsCtx is the in-NIC per-flow crypto state: key material plus the
@@ -90,6 +107,28 @@ type pendingPkt struct {
 	onWire func()
 }
 
+// wireEvent is the pooled serialization-done callback of the wire
+// arbiter: one packet leaving the link, handed to the network.
+type wireEvent struct {
+	n      *NIC
+	pkt    *wire.Packet
+	onWire func()
+}
+
+// Run implements sim.Action.
+func (w *wireEvent) Run() {
+	n, pkt, onWire := w.n, w.pkt, w.onWire
+	w.pkt = nil
+	w.onWire = nil
+	n.wireFree = append(n.wireFree, w)
+	n.wireBusy = false
+	n.net.Deliver(pkt)
+	if onWire != nil {
+		onWire()
+	}
+	n.kickWire()
+}
+
 // NIC is one host's network interface.
 type NIC struct {
 	eng  *sim.Engine
@@ -111,6 +150,7 @@ type NIC struct {
 	pq       [][]pendingPkt
 	wireBusy bool
 	rrNext   int
+	wireFree []*wireEvent // pooled serialization-done callbacks
 
 	// OnRx is the host's packet dispatch entry point.
 	OnRx func(*wire.Packet)
@@ -142,6 +182,10 @@ func New(eng *sim.Engine, cm *cost.Model, net *netsim.Network, addr uint32, nQue
 
 // Queues reports the number of transmit queues.
 func (n *NIC) Queues() int { return len(n.queues) }
+
+// AcquirePacket takes a packet from the attached network's free list —
+// the owning way for stacks on this host to build transmit packets.
+func (n *NIC) AcquirePacket() *wire.Packet { return n.net.AcquirePacket() }
 
 // HasContext reports whether a live flow context exists for id.
 func (n *NIC) HasContext(id uint64) bool {
@@ -234,7 +278,10 @@ func (n *NIC) seal(seg *TxSegment, ctx *tlsCtx) {
 }
 
 // emit splits the segment into MTU packets (unless NoTSO) and hands them
-// to the queue's transmit FIFO.
+// to the queue's transmit FIFO. Cut packets come from the network's
+// pool; their payload is copied out of recyclable scratch (Release set)
+// or aliased (Release nil) — see TxSegment.Release. The pool-owned
+// template packet is recycled either way.
 func (n *NIC) emit(q int, seg *TxSegment) {
 	if seg.NoTSO {
 		n.enqueue(q, seg.Pkt, seg.OnWire)
@@ -252,7 +299,9 @@ func (n *NIC) emit(q int, seg *TxSegment) {
 		if end > len(payload) {
 			end = len(payload)
 		}
-		pkt := &wire.Packet{IP: seg.Pkt.IP, Overlay: seg.Pkt.Overlay}
+		pkt := n.net.AcquirePacket()
+		pkt.IP = seg.Pkt.IP
+		pkt.Overlay = seg.Pkt.Overlay
 		// TSO replicates the overlay header and increments IPID from the
 		// stack-provided base; the stack zeroes the base so IPID is the
 		// intra-segment packet index (§4.3 — with DF set the IPID has no
@@ -264,7 +313,11 @@ func (n *NIC) emit(q int, seg *TxSegment) {
 			// which is why Homa/SMT rely on the IPID instead.
 			pkt.Overlay.TSOOffset = seg.Pkt.Overlay.TSOOffset + uint32(off)
 		}
-		pkt.Payload = payload[off:end]
+		if seg.Release != nil {
+			pkt.SetPayload(payload[off:end])
+		} else {
+			pkt.Payload = payload[off:end] // borrowed: producer keeps it alive
+		}
 		last := end == len(payload)
 		var cb func()
 		if last {
@@ -276,6 +329,11 @@ func (n *NIC) emit(q int, seg *TxSegment) {
 			break
 		}
 	}
+	// Recycle scratch (if any) and the template packet.
+	if seg.Release != nil {
+		seg.Release()
+	}
+	seg.Pkt.Release()
 }
 
 // enqueue appends a packet to queue q's FIFO and kicks the arbiter.
@@ -302,14 +360,16 @@ func (n *NIC) kickWire() {
 		n.wireBusy = true
 		n.Stats.TxPackets++
 		n.Stats.TxBytes += uint64(pp.pkt.WireLen())
-		n.eng.After(n.cm.Serialize(pp.pkt.WireLen()), func() {
-			n.wireBusy = false
-			n.net.Deliver(pp.pkt)
-			if pp.onWire != nil {
-				pp.onWire()
-			}
-			n.kickWire()
-		})
+		var we *wireEvent
+		if l := len(n.wireFree); l > 0 {
+			we = n.wireFree[l-1]
+			n.wireFree[l-1] = nil
+			n.wireFree = n.wireFree[:l-1]
+		} else {
+			we = &wireEvent{n: n}
+		}
+		we.pkt, we.onWire = pp.pkt, pp.onWire
+		n.eng.PostActionAfter(n.cm.Serialize(pp.pkt.WireLen()), we)
 		return
 	}
 }

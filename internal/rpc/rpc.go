@@ -19,17 +19,39 @@ const HeaderLen = 12
 // MinSize is the smallest RPC payload (the header itself).
 const MinSize = HeaderLen
 
+// pattern holds the deterministic body filler pattern[i] = byte(i), so
+// payload bodies are built with aligned copies instead of a per-byte
+// loop (the filler is position-dependent with period 256).
+var pattern = func() (p [256]byte) {
+	for i := range p {
+		p[i] = byte(i)
+	}
+	return
+}()
+
 // Encode builds an RPC payload of exactly size bytes carrying reqID and
 // the desired response size. size is clamped up to MinSize.
 func Encode(reqID uint64, respSize uint32, size int) []byte {
+	return AppendEncode(nil, reqID, respSize, size)
+}
+
+// AppendEncode is Encode's scratch-reusing form: the payload is written
+// into b (resized, capacity reused) and returned. Callers on the hot
+// issue path keep one scratch buffer per world; the transports copy the
+// payload before returning, so reuse across sends is safe.
+func AppendEncode(b []byte, reqID uint64, respSize uint32, size int) []byte {
 	if size < MinSize {
 		size = MinSize
 	}
-	b := make([]byte, size)
+	if cap(b) >= size {
+		b = b[:size]
+	} else {
+		b = make([]byte, size)
+	}
 	binary.BigEndian.PutUint64(b, reqID)
 	binary.BigEndian.PutUint32(b[8:], respSize)
-	for i := HeaderLen; i < size; i++ {
-		b[i] = byte(i)
+	for i := HeaderLen; i < size; {
+		i += copy(b[i:], pattern[i&255:])
 	}
 	return b
 }

@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleCancel measures the per-packet RTO pattern:
+// re-arm a caller-held timer, then cancel it. Allocs/op must be 0 at
+// steady state (pooled events, in-place re-arm).
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	var tm Timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ResetAfter(&tm, Time(1000+i%777), fn)
+		tm.Stop()
+	}
+}
+
+// BenchmarkEngineScheduleRun measures the fire-and-forget path: schedule
+// one event and drain it.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.PostAfter(1, fn)
+		e.Run()
+	}
+}
+
+// BenchmarkEngineDeepHeap measures schedule+pop against a heap holding
+// many pending events (the loadsweep regime).
+func BenchmarkEngineDeepHeap(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		e.Post(Time(1_000_000_000+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.PostAfter(Time(i%1000), fn)
+		e.step()
+	}
+}

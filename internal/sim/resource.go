@@ -19,10 +19,9 @@ func NewResource(eng *Engine, name string) *Resource {
 	return &Resource{eng: eng, Name: name}
 }
 
-// Acquire reserves the resource for dur starting no earlier than now, and
-// schedules done (which may be nil) to run when the work completes. It
-// returns the completion time.
-func (r *Resource) Acquire(dur Time, done func()) Time {
+// reserve books dur of work starting no earlier than now and returns the
+// completion time — the shared core of the Acquire variants.
+func (r *Resource) reserve(dur Time) Time {
 	if dur < 0 {
 		dur = 0
 	}
@@ -33,8 +32,27 @@ func (r *Resource) Acquire(dur Time, done func()) Time {
 	end := start + dur
 	r.freeAt = end
 	r.Busy += dur
+	return end
+}
+
+// Acquire reserves the resource for dur starting no earlier than now, and
+// schedules done (which may be nil) to run when the work completes. It
+// returns the completion time.
+func (r *Resource) Acquire(dur Time, done func()) Time {
+	end := r.reserve(dur)
 	if done != nil {
-		r.eng.At(end, done)
+		r.eng.Post(end, done)
+	}
+	return end
+}
+
+// AcquireAction is Acquire with a pooled Action completion instead of a
+// closure — the allocation-free path per-packet work (dispatch, softirq
+// handoff) uses.
+func (r *Resource) AcquireAction(dur Time, done Action) Time {
+	end := r.reserve(dur)
+	if done != nil {
+		r.eng.PostAction(end, done)
 	}
 	return end
 }

@@ -6,10 +6,23 @@
 // order. Because execution is single-goroutine and the random source is
 // seeded, every run is exactly reproducible, independent of the Go
 // scheduler and garbage collector.
+//
+// The kernel is allocation-free at steady state: event structs are pooled
+// on a per-engine free list, cancelled events are removed from the heap
+// eagerly (so heavy reschedulers never accumulate dead ballast), and the
+// scheduling API has four flavors so hot paths never allocate:
+//
+//   - At/After return a heap-allocated *Timer handle (convenient, one
+//     allocation for the handle — the event itself is pooled);
+//   - Post/PostAfter schedule fire-and-forget closures with no handle;
+//   - PostAction/PostActionAfter schedule an Action interface value, for
+//     callers that pool their own callback state instead of building a
+//     closure per event;
+//   - ResetAt/ResetAfter re-arm a caller-held Timer in place, the
+//     time.AfterFunc-style path per-packet RTO rescheduling uses.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -43,70 +56,161 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // String formats the timestamp using time.Duration notation.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Event is a scheduled closure. The zero Event is invalid; events are
-// created through Engine.At and Engine.After.
-type event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among equal timestamps
-	fn   func()
-	idx  int // heap index, -1 once popped or cancelled
-	dead bool
+// Action is a pooled alternative to a closure: callers that schedule the
+// same logical callback per packet implement Run on a struct they recycle
+// themselves, and the engine stores the interface value (a pointer — no
+// allocation) instead of a fresh closure.
+type Action interface {
+	Run()
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// event is a scheduled callback. Events are engine-owned: they are taken
+// from the per-engine free list when scheduled and recycled when they
+// fire, are stopped, or are found dead. gen guards stale Timer handles
+// against acting on a recycled event.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  func()
+	act Action // non-nil alternative to fn
+	idx int    // heap index, -1 once popped
+	gen uint64 // bumped on every recycle
+}
+
+// Timer is a handle to a scheduled event that can be cancelled or
+// re-armed. The zero Timer is valid and inert; engines arm it through
+// ResetAt/ResetAfter. A Timer must only ever be used with one engine.
 type Timer struct {
 	eng *Engine
 	ev  *event
+	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the call prevented the event
 // from firing (false if it already fired or was already stopped). The
-// event stays in the heap as a dead entry until it is popped or the
-// engine compacts; heavy reschedulers (per-packet RTO timers) therefore
-// cost O(log n) per Stop, not O(n).
+// event is removed from the heap immediately — O(log n) — so heavy
+// reschedulers (per-packet RTO timers) leave no dead ballast behind.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen {
 		return false
 	}
-	t.ev.dead = true
-	t.ev.fn = nil
-	if t.eng != nil {
-		t.eng.live--
-		t.eng.maybeCompact()
-	}
+	ev := t.ev
+	t.ev = nil
+	t.eng.heap.remove(ev.idx)
+	t.eng.recycle(ev)
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.ev != nil && !t.ev.dead }
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.gen == t.gen }
 
-type eventHeap []*event
+// heapEntry is one pending event in the priority queue. The (at, seq)
+// sort key is stored inline so compares never dereference the event —
+// the queue is the simulator's hottest data structure, and the
+// monomorphic sift code below (vs. container/heap's interface calls)
+// is a measured ~2× on the end-to-end experiment sweeps. Pop order is
+// fully determined by the (at, seq) total order, so it is bit-identical
+// to the container/heap implementation it replaced.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	ev  *event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+type eventHeap []heapEntry
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+	h[i].ev.idx = i
+	h[j].ev.idx = j
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
+
+func (h eventHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+// down sifts i toward the leaves; it reports whether i moved.
+func (h eventHeap) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (h *eventHeap) push(ev *event) {
 	ev.idx = len(*h)
-	*h = append(*h, ev)
+	*h = append(*h, heapEntry{at: ev.at, seq: ev.seq, ev: ev})
+	h.up(ev.idx)
 }
-func (h *eventHeap) Pop() any {
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	ev := old[0].ev
 	ev.idx = -1
-	*h = old[:n-1]
+	if n > 0 {
+		old[0] = old[n]
+		old[0].ev.idx = 0
+	}
+	old[n] = heapEntry{}
+	*h = old[:n]
+	(*h).down(0, n)
 	return ev
+}
+
+// remove deletes the entry at index i (Timer.Stop's eager removal).
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	old[i].ev.idx = -1
+	if n != i {
+		old[i] = old[n]
+		old[i].ev.idx = i
+	}
+	old[n] = heapEntry{}
+	*h = old[:n]
+	if n != i {
+		if !(*h).down(i, n) {
+			(*h).up(i)
+		}
+	}
+}
+
+// fix re-establishes heap order after entry i's key changed in place
+// (ResetAt's re-arm path). The caller must refresh the entry's key from
+// the event first.
+func (h eventHeap) fix(i int) {
+	if !h.down(i, len(h)) {
+		h.up(i)
+	}
 }
 
 // Engine is the discrete-event executor. It is not safe for concurrent use;
@@ -115,40 +219,11 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	heap    eventHeap
-	live    int // scheduled, non-cancelled events in the heap
+	free    []*event // recycled events; single-goroutine, no sync needed
 	rng     *rand.Rand
 	stopped bool
 	// Executed counts events that have run, a cheap progress/size metric.
 	Executed uint64
-}
-
-// compactMinLen is the heap size below which dead entries are left for
-// the pop path to skip: compacting tiny heaps costs more than it saves.
-const compactMinLen = 1024
-
-// maybeCompact drops cancelled events from the heap once they outnumber
-// the live ones (dead fraction > 50%). Without this, a long simulation
-// that reschedules per-packet RTO timers accumulates dead entries
-// without bound. Rebuilding filters in place and re-heapifies; pop
-// order is unchanged because (at, seq) is a total order.
-func (e *Engine) maybeCompact() {
-	if len(e.heap) < compactMinLen || len(e.heap) <= 2*e.live {
-		return
-	}
-	kept := e.heap[:0]
-	for _, ev := range e.heap {
-		if !ev.dead {
-			kept = append(kept, ev)
-		}
-	}
-	for i := len(kept); i < len(e.heap); i++ {
-		e.heap[i] = nil // release dead events to the GC
-	}
-	e.heap = kept
-	for i, ev := range e.heap {
-		ev.idx = i
-	}
-	heap.Init(&e.heap)
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -163,6 +238,40 @@ func (e *Engine) Now() Time { return e.now }
 // Rand exposes the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// recycle returns a finished or cancelled event to the free list. The
+// generation bump invalidates any Timer still pointing at it.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.act = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// schedule takes an event from the free list (or allocates the pool's
+// next entry), fills it in, and pushes it. Every public scheduling call
+// consumes exactly one sequence number, so the (time, seq) tie-break
+// order is identical across the At/Post/Reset flavors.
+func (e *Engine) schedule(at Time, fn func(), act Action) *event {
+	if at < e.now {
+		at = e.now
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.act = act
+	e.seq++
+	e.heap.push(ev)
+	return ev
+}
+
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past (or present) runs the event at the current time, after already
 // pending events with the same timestamp.
@@ -170,14 +279,8 @@ func (e *Engine) At(at Time, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil event func")
 	}
-	if at < e.now {
-		at = e.now
-	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.heap, ev)
-	e.live++
-	return &Timer{eng: e, ev: ev}
+	ev := e.schedule(at, fn, nil)
+	return &Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds of virtual time from now.
@@ -188,33 +291,109 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 	return e.At(e.now+d, fn)
 }
 
+// Post schedules fn at absolute time at with no cancellation handle —
+// the allocation-free path for fire-and-forget events.
+func (e *Engine) Post(at Time, fn func()) {
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	e.schedule(at, fn, nil)
+}
+
+// PostAfter schedules fn d nanoseconds from now with no handle.
+func (e *Engine) PostAfter(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Post(e.now+d, fn)
+}
+
+// PostAction schedules a.Run() at absolute time at with no handle. The
+// interface value is stored directly, so pooled callback structs cross
+// the scheduler without allocating.
+func (e *Engine) PostAction(at Time, a Action) {
+	if a == nil {
+		panic("sim: nil action")
+	}
+	e.schedule(at, nil, a)
+}
+
+// PostActionAfter schedules a.Run() d nanoseconds from now.
+func (e *Engine) PostActionAfter(d Time, a Action) {
+	if d < 0 {
+		d = 0
+	}
+	e.PostAction(e.now+d, a)
+}
+
+// ResetAt re-arms the caller-held timer t to run fn at absolute time at,
+// cancelling any pending schedule first — the time.AfterFunc-style path.
+// An active timer is updated in place (heap.Fix), so per-packet
+// rescheduling allocates nothing. Like every scheduling call it consumes
+// one sequence number, so a Stop+At pair and a ResetAt produce identical
+// event ordering.
+func (e *Engine) ResetAt(t *Timer, at Time, fn func()) {
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	if t.ev != nil && t.ev.gen == t.gen {
+		if t.eng != e {
+			panic("sim: Timer re-armed on a different engine")
+		}
+		ev := t.ev
+		ev.at = at
+		ev.seq = e.seq
+		ev.fn = fn
+		ev.act = nil
+		e.seq++
+		e.heap[ev.idx] = heapEntry{at: at, seq: ev.seq, ev: ev}
+		e.heap.fix(ev.idx)
+		return
+	}
+	ev := e.schedule(at, fn, nil)
+	t.eng = e
+	t.ev = ev
+	t.gen = ev.gen
+}
+
+// ResetAfter re-arms t to run fn d nanoseconds from now.
+func (e *Engine) ResetAfter(t *Timer, d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.ResetAt(t, e.now+d, fn)
+}
+
 // Stop aborts Run / RunUntil at the next event boundary.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of scheduled (non-cancelled) events, O(1).
-func (e *Engine) Pending() int { return e.live }
+// Cancelled events are removed eagerly, so this is exactly the heap size.
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // step executes the earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) step() bool {
-	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*event)
-		if ev.dead {
-			continue
-		}
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
-		}
-		e.now = ev.at
-		ev.dead = true
-		e.live--
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		e.Executed++
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	ev := e.heap.popMin()
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
+	}
+	e.now = ev.at
+	fn, act := ev.fn, ev.act
+	e.recycle(ev)
+	if act != nil {
+		act.Run()
+	} else {
+		fn()
+	}
+	e.Executed++
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called. It returns
@@ -232,16 +411,7 @@ func (e *Engine) Run() Time {
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.heap) == 0 {
-			break
-		}
-		// Peek.
-		next := e.heap[0]
-		if next.dead {
-			heap.Pop(&e.heap)
-			continue
-		}
-		if next.at > deadline {
+		if len(e.heap) == 0 || e.heap[0].at > deadline {
 			break
 		}
 		e.step()

@@ -87,9 +87,8 @@ func TestTimerStop(t *testing.T) {
 
 // TestHeapCompaction is the dead-event regression test: a long run that
 // schedules and immediately cancels per-packet RTO-style timers must not
-// grow the heap without bound. With 1M schedule+cancel cycles against a
-// handful of live events, the heap stays within a small multiple of the
-// live count (bounded by the compaction threshold).
+// grow the heap without bound. Stop removes the event from the heap
+// eagerly, so 1M schedule+cancel cycles leave exactly the live events.
 func TestHeapCompaction(t *testing.T) {
 	e := NewEngine(1)
 	const live = 16
@@ -105,8 +104,8 @@ func TestHeapCompaction(t *testing.T) {
 			t.Fatalf("Pending = %d after %d cancels, want %d", got, i+1, live)
 		}
 	}
-	if len(e.heap) > 2*compactMinLen {
-		t.Fatalf("heap length %d after 1M cancels; compaction is not bounding it", len(e.heap))
+	if len(e.heap) != live {
+		t.Fatalf("heap length %d after 1M cancels, want %d (eager removal)", len(e.heap), live)
 	}
 	e.Run()
 	if e.Pending() != 0 {
@@ -140,15 +139,17 @@ func TestPendingCounts(t *testing.T) {
 	}
 }
 
-// TestCompactionPreservesOrder: cancelling enough timers to trigger a
-// compaction mid-run must not change the firing order of survivors.
+// TestCompactionPreservesOrder: cancelling interleaved timers mid-heap
+// must not change the firing order of survivors (eager removal rebuilds
+// heap positions; the (at, seq) total order must survive it).
 func TestCompactionPreservesOrder(t *testing.T) {
+	const n = 3 * 1024
 	e := NewEngine(1)
 	var fired []Time
 	// Interleave survivors with soon-cancelled timers at equal times so a
-	// rebuild would expose any tie-break (seq) corruption.
+	// removal would expose any tie-break (seq) corruption.
 	var cancel []*Timer
-	for i := 0; i < 3*compactMinLen; i++ {
+	for i := 0; i < n; i++ {
 		at := Time(100 + i/4)
 		if i%4 == 0 {
 			at := at
@@ -166,8 +167,132 @@ func TestCompactionPreservesOrder(t *testing.T) {
 			t.Fatalf("firing order regressed at %d: %v after %v", i, fired[i], fired[i-1])
 		}
 	}
-	if len(fired) != 3*compactMinLen/4 {
-		t.Fatalf("fired %d events, want %d", len(fired), 3*compactMinLen/4)
+	if len(fired) != n/4 {
+		t.Fatalf("fired %d events, want %d", len(fired), n/4)
+	}
+}
+
+// TestPooledEventsRecycleSafely: a Timer handle kept across its event's
+// recycling (fire → pool → reschedule) must not cancel the new owner.
+func TestPooledEventsRecycleSafely(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	stale := e.At(10, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// The pooled event is reused by the next schedule; the stale handle
+	// must see a generation mismatch.
+	e.At(20, func() { fired++ })
+	if stale.Active() {
+		t.Fatal("stale handle reports active after recycle")
+	}
+	if stale.Stop() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (stale Stop leaked into new event)", fired)
+	}
+}
+
+// TestResetAfterRearms: ResetAfter re-arms a caller-held timer in place,
+// matching Stop+After semantics (last arm wins, one firing).
+func TestResetAfterRearms(t *testing.T) {
+	e := NewEngine(1)
+	var tm Timer
+	fired := []int{}
+	e.ResetAfter(&tm, 100, func() { fired = append(fired, 1) })
+	e.ResetAfter(&tm, 50, func() { fired = append(fired, 2) })
+	e.ResetAfter(&tm, 200, func() { fired = append(fired, 3) })
+	if !tm.Active() {
+		t.Fatal("re-armed timer inactive")
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("fired = %v, want [3]", fired)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("Now = %v, want 200", e.Now())
+	}
+	// Re-arming after firing works from the zero state again.
+	e.ResetAfter(&tm, 10, func() { fired = append(fired, 4) })
+	e.Run()
+	if len(fired) != 2 || fired[1] != 4 {
+		t.Fatalf("fired = %v, want [3 4]", fired)
+	}
+}
+
+// TestResetOrderingMatchesStopPlusAfter: a ResetAfter consumes exactly one
+// sequence number, so it ties with a plain After scheduled around it the
+// same way a Stop+After pair would.
+func TestResetOrderingMatchesStopPlusAfter(t *testing.T) {
+	run := func(reset bool) []int {
+		e := NewEngine(1)
+		var got []int
+		var tm Timer
+		e.ResetAfter(&tm, 5, func() { got = append(got, 0) })
+		if reset {
+			e.ResetAfter(&tm, 7, func() { got = append(got, 1) })
+		} else {
+			tm.Stop()
+			e.After(7, func() { got = append(got, 1) })
+		}
+		e.After(7, func() { got = append(got, 2) })
+		e.Run()
+		return got
+	}
+	a, b := run(true), run(false)
+	if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("reset ordering %v != stop+after ordering %v", a, b)
+	}
+}
+
+type countAction struct{ n *int }
+
+func (a *countAction) Run() { *a.n++ }
+
+// TestPostAction schedules interface actions in FIFO order with closures.
+func TestPostAction(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	act := &countAction{n: &n}
+	e.PostAction(10, act)
+	e.PostActionAfter(10, act)
+	e.Post(10, func() {
+		if n != 2 {
+			t.Errorf("closure ran before actions at same time: n=%d", n)
+		}
+	})
+	e.Run()
+	if n != 2 {
+		t.Fatalf("actions ran %d times, want 2", n)
+	}
+}
+
+// TestSchedulingAllocs pins the allocation behavior of the hot scheduling
+// paths: pooled events make Post/PostAction/ResetAfter allocation-free at
+// steady state.
+func TestSchedulingAllocs(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	n := 0
+	act := &countAction{n: &n}
+	var tm Timer
+	// Warm the pool.
+	for i := 0; i < 64; i++ {
+		e.Post(e.Now(), fn)
+	}
+	e.Run()
+	if got := testing.AllocsPerRun(1000, func() {
+		e.Post(e.Now()+1, fn)
+		e.PostAction(e.Now()+1, act)
+		e.ResetAfter(&tm, 2, fn)
+		tm.Stop()
+		e.Run()
+	}); got > 0 {
+		t.Fatalf("steady-state scheduling allocates %.1f objects/op, want 0", got)
 	}
 }
 

@@ -42,6 +42,9 @@ type Codec struct {
 	rxSeq tlsrec.StreamSeq
 	rxBuf []byte
 
+	innerBuf []byte // EncodeStream scratch: stream header ‖ app bytes
+	outBuf   []byte // DecodeStream scratch, valid until the next call
+
 	RecordsSealed uint64
 	RecordsOpened uint64
 	AuthFailures  uint64
@@ -71,8 +74,12 @@ func (c *Codec) EncodeStream(data []byte) ([]tcpsim.Chunk, sim.Time) {
 		if off+n > len(data) {
 			n = len(data) - off
 		}
-		// Protected payload: stream header ‖ app bytes.
-		inner := make([]byte, streamHeaderLen+n)
+		// Protected payload: stream header ‖ app bytes (codec scratch —
+		// SealRecord copies it into the record buffer).
+		if cap(c.innerBuf) < streamHeaderLen+n {
+			c.innerBuf = make([]byte, streamHeaderLen+n)
+		}
+		inner := c.innerBuf[:streamHeaderLen+n]
 		binary.BigEndian.PutUint32(inner, 0)             // stream id 0
 		binary.BigEndian.PutUint32(inner[4:], uint32(n)) // stream chunk length
 		copy(inner[streamHeaderLen:], data[off:off+n])
@@ -89,37 +96,47 @@ func (c *Codec) EncodeStream(data []byte) ([]tcpsim.Chunk, sim.Time) {
 	return chunks, cpu
 }
 
-// DecodeStream implements tcpsim.Codec.
+// DecodeStream implements tcpsim.Codec. The returned slice is codec-owned
+// scratch, valid until the next DecodeStream call.
 func (c *Codec) DecodeStream(data []byte) ([]byte, sim.Time, error) {
 	c.rxBuf = append(c.rxBuf, data...)
 	var (
-		out []byte
+		out = c.outBuf[:0]
 		cpu sim.Time
+		pos int
 	)
+	defer func() {
+		c.rxBuf = append(c.rxBuf[:0], c.rxBuf[pos:]...)
+		c.outBuf = out[:0]
+	}()
 	for {
 		var hdr wire.RecordHeader
-		if err := hdr.DecodeFromBytes(c.rxBuf); err != nil {
+		if err := hdr.DecodeFromBytes(c.rxBuf[pos:]); err != nil {
 			break
 		}
 		total := wire.RecordHeaderLen + int(hdr.Length)
-		if len(c.rxBuf) < total {
+		if len(c.rxBuf)-pos < total {
 			break
 		}
 		seq := c.rxSeq.Next()
-		inner, ct, err := c.rx.OpenRecord(seq, c.rxBuf[:total])
+		base := len(out)
+		ext, ct, err := c.rx.OpenRecordTo(out, seq, c.rxBuf[pos:pos+total])
 		cpu += c.cm.CryptoSW(total) + c.cm.TCPLSRecord
-		if err != nil || ct != wire.RecordTypeApplicationData || len(inner) < streamHeaderLen {
+		if err != nil || ct != wire.RecordTypeApplicationData || len(ext)-base < streamHeaderLen {
 			c.AuthFailures++
 			return out, cpu, ErrAuth
 		}
+		inner := ext[base:]
 		n := int(binary.BigEndian.Uint32(inner[4:]))
 		if n != len(inner)-streamHeaderLen {
 			c.AuthFailures++
 			return out, cpu, ErrAuth
 		}
 		c.RecordsOpened++
-		out = append(out, inner[streamHeaderLen:]...)
-		c.rxBuf = c.rxBuf[total:]
+		// Strip the stream header in place: slide the app bytes down.
+		copy(inner, inner[streamHeaderLen:])
+		out = ext[:base+n]
+		pos += total
 	}
 	return out, cpu, nil
 }

@@ -31,6 +31,11 @@ type Chunk struct {
 	Keys *tlsrec.AEAD
 }
 
+// Chunk buffers are deliberately NOT pooled: a retransmission borrows
+// chunk.Bytes into NIC-deferred work (seal + cut happen later in virtual
+// time), so an ack-time release could recycle a buffer that is still
+// referenced by an in-flight retransmit. They stay GC-managed.
+
 // Codec transforms application messages to stream bytes and back. The
 // connection itself handles message framing (4-byte length prefix) above
 // the codec, mirroring how RPC protocols frame over TLS/TCP.

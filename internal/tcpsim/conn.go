@@ -69,19 +69,29 @@ type Conn struct {
 	dupAcks    int
 	inRecovery bool
 	recover    int64 // NewReno recovery point: one fast retransmit per window
-	rto        *sim.Timer
+	rto        sim.Timer
+	rtoFn      func() // prebuilt RTO callback
 	nicNext    uint64 // next record seq the NIC context expects (hw)
 	ctxID      uint64
+	txFree     []*txBuf // recycled TSO-segment assembly buffers
 
-	// receiver state
+	// receiver state. rxPending/appStream are consumed from a head index
+	// (instead of re-slicing) so their capacity is actually reused once
+	// drained — re-slicing forever walks forward through the backing
+	// array and forces a fresh allocation per growth.
 	rcvNxt    int64
 	ooo       map[int64][]byte
 	rxPending []byte // in-order ciphertext awaiting app-context decode
+	rxHead    int    // consumed prefix of rxPending
 	rxSched   bool
 	lastRx    sim.Time
 	pktCount  int
-	ackTimer  *sim.Timer
+	ackTimer  sim.Timer
+	ackFn     func() // prebuilt delayed-ack callback
+	sendAckFn func() // prebuilt softirq ack-build callback
+	deliverFn func() // prebuilt app-wakeup callback
 	appStream []byte // decoded plaintext awaiting message framing
+	appHead   int    // consumed prefix of appStream
 
 	onMessage   func([]byte)
 	onError     func(error)
@@ -98,6 +108,32 @@ type txChunk struct {
 	// decisions on retransmit.
 	firstSeq uint64
 	nRecs    int
+}
+
+// txBuf is a pooled TSO-segment assembly buffer: trySend packs chunk
+// ciphertext and record descriptors into it, and the NIC's Release
+// returns it once the payload has been cut into wire packets.
+type txBuf struct {
+	bytes   []byte
+	recs    []nicsim.RecordDesc
+	release func()
+}
+
+// getTxBuf takes an assembly buffer from the connection's free list.
+func (c *Conn) getTxBuf() *txBuf {
+	if l := len(c.txFree); l > 0 {
+		tb := c.txFree[l-1]
+		c.txFree[l-1] = nil
+		c.txFree = c.txFree[:l-1]
+		return tb
+	}
+	tb := &txBuf{}
+	tb.release = func() {
+		tb.bytes = tb.bytes[:0]
+		tb.recs = tb.recs[:0]
+		c.txFree = append(c.txFree, tb)
+	}
+	return tb
 }
 
 // framed prepends the 4-byte length prefix RPC framing.
@@ -153,11 +189,16 @@ func (c *Conn) LocalPort() uint16 { return c.localPort }
 
 // trySend transmits queued chunks within the window as TSO segments of
 // whole chunks (records never straddle segments, the kTLS-hw layout).
+// Segments are assembled into pooled buffers the NIC hands back after
+// cutting; the copy is semantically load-bearing for kTLS-hw, where the
+// NIC seals the transmitted copy while the retained chunk keeps its
+// plaintext shell for retransmission.
 func (c *Conn) trySend() {
 	for c.sndNxt < c.sndUna+int64(c.cfg.Window) {
 		var (
-			seg     []byte
-			recs    []nicsim.RecordDesc
+			tb      = c.getTxBuf()
+			seg     = tb.bytes[:0]
+			recs    = tb.recs[:0]
 			keys    = (*txChunk)(nil)
 			started = c.sndNxt
 		)
@@ -184,29 +225,31 @@ func (c *Conn) trySend() {
 			}
 			seg = append(seg, tc.chunk.Bytes...)
 		}
+		tb.bytes, tb.recs = seg, recs
 		if len(seg) == 0 {
+			tb.release()
 			return
 		}
-		c.sendSegment(started, seg, recs, keysOf(keys), false)
+		c.sendSegment(started, seg, recs, keysOf(keys), tb.release, false)
 		c.sndNxt = started + int64(len(seg))
 	}
 }
 
 func keysOf(tc *txChunk) *txChunk { return tc }
 
-// sendSegment submits one TSO segment at stream offset seq.
-func (c *Conn) sendSegment(seq int64, payload []byte, recs []nicsim.RecordDesc, keyChunk *txChunk, retx bool) {
-	pkt := &wire.Packet{
-		IP: wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: c.host.Addr, Dst: c.peerAddr},
-		Overlay: wire.OverlayHeader{
-			SrcPort: c.localPort, DstPort: c.peerPort,
-			Type:      wire.TypeData,
-			TSOOffset: uint32(seq), // TCP sequence number
-			MsgLen:    uint32(len(payload)),
-		},
-		Payload: payload,
+// sendSegment submits one TSO segment at stream offset seq. release, if
+// non-nil, recycles the payload buffer once the NIC has cut it.
+func (c *Conn) sendSegment(seq int64, payload []byte, recs []nicsim.RecordDesc, keyChunk *txChunk, release func(), retx bool) {
+	pkt := c.host.NIC.AcquirePacket()
+	pkt.IP = wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: c.host.Addr, Dst: c.peerAddr}
+	pkt.Overlay = wire.OverlayHeader{
+		SrcPort: c.localPort, DstPort: c.peerPort,
+		Type:      wire.TypeData,
+		TSOOffset: uint32(seq), // TCP sequence number
+		MsgLen:    uint32(len(payload)),
 	}
-	seg := &nicsim.TxSegment{Pkt: pkt, MTU: c.cfg.MTU}
+	pkt.Payload = payload // borrowed until the NIC cuts; release recycles
+	seg := &nicsim.TxSegment{Pkt: pkt, MTU: c.cfg.MTU, Release: release}
 	if len(recs) > 0 && keyChunk != nil && keyChunk.chunk.Keys != nil {
 		seg.Records = recs
 		seg.Keys = keyChunk.chunk.Keys
@@ -222,20 +265,20 @@ func (c *Conn) sendSegment(seq int64, payload []byte, recs []nicsim.RecordDesc, 
 }
 
 func (c *Conn) armRTO() {
-	if c.rto != nil {
-		c.rto.Stop()
-	}
-	c.rto = c.host.Eng.After(c.cfg.RTO, func() {
-		if c.closed || c.sndUna >= c.highWater {
-			return
+	if c.rtoFn == nil {
+		c.rtoFn = func() {
+			if c.closed || c.sndUna >= c.highWater {
+				return
+			}
+			c.Stats.RTORetx++
+			c.inRecovery = true
+			c.recover = c.sndNxt
+			c.dupAcks = 0
+			c.retransmitFrom(c.sndUna)
+			c.armRTO()
 		}
-		c.Stats.RTORetx++
-		c.inRecovery = true
-		c.recover = c.sndNxt
-		c.dupAcks = 0
-		c.retransmitFrom(c.sndUna)
-		c.armRTO()
-	})
+	}
+	c.host.Eng.ResetAfter(&c.rto, c.cfg.RTO, c.rtoFn)
 }
 
 // retransmitFrom resends the chunk containing stream offset seq (hardware
@@ -250,7 +293,7 @@ func (c *Conn) retransmitFrom(seq int64) {
 		c.host.RunSoftirq(c.core, cm.TCPTxSegment, func() {
 			recs := make([]nicsim.RecordDesc, len(tc.chunk.Records))
 			copy(recs, tc.chunk.Records)
-			c.sendSegment(tc.seq, tc.chunk.Bytes, recs, tc, true)
+			c.sendSegment(tc.seq, tc.chunk.Bytes, recs, tc, nil, true)
 		})
 		return
 	}
@@ -270,6 +313,9 @@ func (c *Conn) handleAck(ack int64) {
 				keep = append(keep, tc)
 			}
 		}
+		for i := len(keep); i < len(c.chunks); i++ {
+			c.chunks[i] = nil
+		}
 		c.chunks = keep
 		if c.inRecovery {
 			if ack >= c.recover {
@@ -278,7 +324,7 @@ func (c *Conn) handleAck(ack int64) {
 				c.retransmitFrom(c.sndUna) // partial ACK: next hole
 			}
 		}
-		if c.sndUna >= c.highWater && c.rto != nil {
+		if c.sndUna >= c.highWater {
 			c.rto.Stop()
 		}
 		c.trySend() // window slid open: ack-clocked transmission (softirq ctx)
@@ -303,6 +349,12 @@ func (c *Conn) handleData(pkt *wire.Packet) {
 	advanced := false
 	switch {
 	case seq == c.rcvNxt:
+		// Reuse drained capacity; safe only while no delivery cycle is
+		// reading slices of the old region.
+		if !c.rxSched && c.rxHead > 0 && c.rxHead == len(c.rxPending) {
+			c.rxPending = c.rxPending[:0]
+			c.rxHead = 0
+		}
 		c.rxPending = append(c.rxPending, data...)
 		c.rcvNxt += int64(len(data))
 		advanced = true
@@ -327,10 +379,13 @@ func (c *Conn) handleData(pkt *wire.Packet) {
 		c.pktCount++
 		if c.pktCount >= c.cfg.AckEvery {
 			c.sendAck()
-		} else if c.ackTimer == nil || !c.ackTimer.Active() {
+		} else if !c.ackTimer.Active() {
 			// Delayed ACK: a lone packet is acknowledged after a short
 			// hold, like Linux's delayed-ACK timer.
-			c.ackTimer = c.host.Eng.After(40*sim.Microsecond, c.sendAck)
+			if c.ackFn == nil {
+				c.ackFn = c.sendAck
+			}
+			c.host.Eng.ResetAfter(&c.ackTimer, 40*sim.Microsecond, c.ackFn)
 		}
 		c.scheduleDelivery()
 	}
@@ -339,21 +394,21 @@ func (c *Conn) handleData(pkt *wire.Packet) {
 
 func (c *Conn) sendAck() {
 	c.pktCount = 0
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-	}
+	c.ackTimer.Stop()
 	c.Stats.AcksSent++
 	cm := c.host.CM
-	c.host.RunSoftirq(c.core, cm.TCPAck, func() {
-		pkt := &wire.Packet{
-			IP: wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: c.host.Addr, Dst: c.peerAddr},
-			Overlay: wire.OverlayHeader{
+	if c.sendAckFn == nil {
+		c.sendAckFn = func() {
+			pkt := c.host.NIC.AcquirePacket()
+			pkt.IP = wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: c.host.Addr, Dst: c.peerAddr}
+			pkt.Overlay = wire.OverlayHeader{
 				SrcPort: c.localPort, DstPort: c.peerPort,
 				Type: wire.TypeAck, Aux: uint32(c.rcvNxt),
-			},
+			}
+			c.host.NIC.SendSegment(c.host.SoftirqQueue(c.core), &nicsim.TxSegment{Pkt: pkt, MTU: c.cfg.MTU, NoTSO: true})
 		}
-		c.host.NIC.SendSegment(c.host.SoftirqQueue(c.core), &nicsim.TxSegment{Pkt: pkt, MTU: c.cfg.MTU, NoTSO: true})
-	})
+	}
+	c.host.RunSoftirq(c.core, cm.TCPAck, c.sendAckFn)
 }
 
 // scheduleDelivery wakes the app thread; bytes arriving while the app is
@@ -363,23 +418,26 @@ func (c *Conn) sendAck() {
 // stream in buffer-sized chunks, so large messages take several
 // epoll+read cycles where a message transport delivers in one (§2).
 func (c *Conn) scheduleDelivery() {
-	if c.rxSched || len(c.rxPending) == 0 {
+	if c.rxSched || len(c.rxPending) == c.rxHead {
 		return
 	}
 	c.rxSched = true
 	cm := c.host.CM
 	c.host.RunSoftirq(c.core, cm.WakeupCPU, nil)
-	c.host.Eng.After(cm.WakeupLatency, func() { c.deliverCycle() })
+	if c.deliverFn == nil {
+		c.deliverFn = c.deliverCycle
+	}
+	c.host.Eng.PostAfter(cm.WakeupLatency, c.deliverFn)
 }
 
 func (c *Conn) deliverCycle() {
 	cm := c.host.CM
-	n := len(c.rxPending)
+	n := len(c.rxPending) - c.rxHead
 	if max := cm.TCPDeliverBatch; max > 0 && n > max {
 		n = max
 	}
-	data := c.rxPending[:n]
-	c.rxPending = c.rxPending[n:]
+	data := c.rxPending[c.rxHead : c.rxHead+n]
+	c.rxHead += n
 	plain, cpu, err := c.codec.DecodeStream(data)
 	if err != nil {
 		c.rxSched = false
@@ -393,9 +451,13 @@ func (c *Conn) deliverCycle() {
 	total := cm.EpollDispatch + cm.Syscall + cm.TCPDeliver + cm.Copy(len(data)) + cpu +
 		cm.TCPPerConn*sim.Time(c.host.StreamConns)
 	c.host.RunApp(c.appThread, total, func() {
+		if c.appHead > 0 && c.appHead == len(c.appStream) {
+			c.appStream = c.appStream[:0]
+			c.appHead = 0
+		}
 		c.appStream = append(c.appStream, plain...)
 		c.drainMessages()
-		if len(c.rxPending) > 0 {
+		if len(c.rxPending) > c.rxHead {
 			c.deliverCycle() // next read() of the loop
 			return
 		}
@@ -407,15 +469,16 @@ func (c *Conn) deliverCycle() {
 // stream.
 func (c *Conn) drainMessages() {
 	for {
-		if len(c.appStream) < 4 {
+		buf := c.appStream[c.appHead:]
+		if len(buf) < 4 {
 			return
 		}
-		n := int(binary.BigEndian.Uint32(c.appStream))
-		if len(c.appStream) < 4+n {
+		n := int(binary.BigEndian.Uint32(buf))
+		if len(buf) < 4+n {
 			return
 		}
-		msg := append([]byte(nil), c.appStream[4:4+n]...)
-		c.appStream = c.appStream[4+n:]
+		msg := append([]byte(nil), buf[4:4+n]...)
+		c.appHead += 4 + n
 		c.Stats.MsgsDelivered++
 		if c.onMessage != nil {
 			c.onMessage(msg)
@@ -430,9 +493,7 @@ func (c *Conn) Close() {
 	}
 	c.closed = true
 	c.host.StreamConns--
-	if c.rto != nil {
-		c.rto.Stop()
-	}
+	c.rto.Stop()
 }
 
 // String identifies the connection.

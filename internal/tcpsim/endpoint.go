@@ -114,12 +114,11 @@ func newConn(host *cpusim.Host, cfg Config, codec Codec, localPort uint16, peerA
 
 // sendCtl emits a SYN (kind 1) or SYN-ACK (kind 2).
 func (e *Endpoint) sendCtl(c *Conn, kind uint32) {
-	pkt := &wire.Packet{
-		IP: wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: e.host.Addr, Dst: c.peerAddr},
-		Overlay: wire.OverlayHeader{
-			SrcPort: c.localPort, DstPort: c.peerPort,
-			Type: wire.TypeHandshake, Aux: kind,
-		},
+	pkt := e.host.NIC.AcquirePacket()
+	pkt.IP = wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: e.host.Addr, Dst: c.peerAddr}
+	pkt.Overlay = wire.OverlayHeader{
+		SrcPort: c.localPort, DstPort: c.peerPort,
+		Type: wire.TypeHandshake, Aux: kind,
 	}
 	e.host.NIC.SendSegment(e.host.SoftirqQueue(c.core), &nicsim.TxSegment{Pkt: pkt, MTU: e.cfg.MTU, NoTSO: true})
 }
@@ -157,8 +156,11 @@ func (e *Endpoint) RxCost(pkt *wire.Packet) sim.Time {
 	return cost
 }
 
-// HandlePacket implements cpusim.Handler.
+// HandlePacket implements cpusim.Handler. The packet is fully consumed
+// here (payload bytes are copied into receive buffers synchronously), so
+// it returns to the pool on exit.
 func (e *Endpoint) HandlePacket(pkt *wire.Packet, core int) {
+	defer pkt.Release()
 	k := connKey{pkt.IP.Src, pkt.Overlay.SrcPort}
 	c := e.conns[k]
 	switch pkt.Overlay.Type {

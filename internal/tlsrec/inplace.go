@@ -19,9 +19,8 @@ func (a *AEAD) SealInPlace(buf []byte, hdrOff, innerLen int, seq uint64) error {
 	}
 	aad := buf[hdrOff:bodyOff]
 	inner := buf[bodyOff : bodyOff+innerLen]
-	nonce := a.Nonce(seq)
 	// Seal with exact overlap: output starts where the plaintext starts.
-	out := a.aead.Seal(inner[:0], nonce[:], inner, aad)
+	out := a.aead.Seal(inner[:0], a.nonceInto(seq), inner, aad)
 	if &out[0] != &inner[0] {
 		// Defensive: stdlib GCM seals in place for exact overlap; if that
 		// ever changes, fall back to copying the result back.
@@ -47,8 +46,8 @@ func WriteRecordShell(buf []byte, hdrOff int, contentType byte, plaintext []byte
 	body := hdrOff + wire.RecordHeaderLen
 	copy(buf[body:], plaintext)
 	buf[body+len(plaintext)] = contentType
-	for i := body + len(plaintext) + 1; i < hdrOff+total; i++ {
-		buf[i] = 0
+	// Zero the padding and reserved tag space in chunks.
+	for i := body + len(plaintext) + 1; i < hdrOff+total; i += copy(buf[i:hdrOff+total], zeros[:]) {
 	}
 	return total
 }

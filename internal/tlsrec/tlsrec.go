@@ -44,6 +44,11 @@ var (
 type AEAD struct {
 	aead cipher.AEAD
 	iv   [wire.GCMNonceLen]byte
+	// nbuf is the per-call nonce scratch: a slice of a struct field does
+	// not escape per call, where a stack [12]byte passed through the
+	// cipher.AEAD interface would — one allocation per record. AEADs are
+	// single-goroutine like everything else in a simulated world.
+	nbuf [wire.GCMNonceLen]byte
 }
 
 // NewAEAD builds record protection from a key (16 or 32 bytes) and a
@@ -80,8 +85,32 @@ func (a *AEAD) Nonce(seq uint64) [wire.GCMNonceLen]byte {
 	return n
 }
 
+// nonceInto computes the nonce into the AEAD's scratch field and returns
+// it as a slice — the allocation-free form the record paths use.
+func (a *AEAD) nonceInto(seq uint64) []byte {
+	a.nbuf = a.Nonce(seq)
+	return a.nbuf[:]
+}
+
 // Overhead is the per-record expansion: header plus authentication tag.
 const Overhead = wire.RecordHeaderLen + wire.GCMTagLen
+
+// zeros is the shared source for RFC 8446 zero padding: chunked appends
+// from it replace byte-at-a-time padding loops on the seal path.
+var zeros [1024]byte
+
+// appendZeros appends n zero bytes to dst in chunks.
+func appendZeros(dst []byte, n int) []byte {
+	for n > 0 {
+		k := n
+		if k > len(zeros) {
+			k = len(zeros)
+		}
+		dst = append(dst, zeros[:k]...)
+		n -= k
+	}
+	return dst
+}
 
 // SealRecord encrypts plaintext as one TLS 1.3 record with sequence
 // number seq and appends header‖ciphertext‖tag to dst. padLen zero bytes
@@ -99,17 +128,15 @@ func (a *AEAD) SealRecord(dst []byte, seq uint64, contentType byte, plaintext []
 	}
 	hdrStart := len(dst)
 	dst = hdr.AppendTo(dst)
-	aad := dst[hdrStart : hdrStart+wire.RecordHeaderLen]
 
 	// Build the inner plaintext in place at the tail of dst.
 	body := len(dst)
 	dst = append(dst, plaintext...)
 	dst = append(dst, contentType)
-	for i := 0; i < padLen; i++ {
-		dst = append(dst, 0)
-	}
-	nonce := a.Nonce(seq)
-	sealed := a.aead.Seal(dst[:body], nonce[:], dst[body:], aad)
+	dst = appendZeros(dst, padLen)
+	// Re-slice the AAD after the appends: they may have grown dst.
+	aad := dst[hdrStart : hdrStart+wire.RecordHeaderLen]
+	sealed := a.aead.Seal(dst[:body], a.nonceInto(seq), dst[body:], aad)
 	return sealed, nil
 }
 
@@ -118,29 +145,39 @@ func (a *AEAD) SealRecord(dst []byte, seq uint64, contentType byte, plaintext []
 // and its content type. The returned slice aliases freshly allocated
 // memory, never record.
 func (a *AEAD) OpenRecord(seq uint64, record []byte) (plaintext []byte, contentType byte, err error) {
+	return a.OpenRecordTo(nil, seq, record)
+}
+
+// OpenRecordTo is OpenRecord's appending form: the decrypted inner
+// plaintext (padding stripped) is appended to dst and the extended slice
+// returned, so callers draining many records can reuse one scratch
+// buffer instead of allocating per record. On error dst is returned
+// unchanged (no partial append).
+func (a *AEAD) OpenRecordTo(dst []byte, seq uint64, record []byte) (plaintext []byte, contentType byte, err error) {
 	var hdr wire.RecordHeader
 	if err := hdr.DecodeFromBytes(record); err != nil {
-		return nil, 0, ErrBadRecord
+		return dst, 0, ErrBadRecord
 	}
 	if int(hdr.Length)+wire.RecordHeaderLen > len(record) {
-		return nil, 0, ErrBadRecord
+		return dst, 0, ErrBadRecord
 	}
 	aad := record[:wire.RecordHeaderLen]
 	ct := record[wire.RecordHeaderLen : wire.RecordHeaderLen+int(hdr.Length)]
-	nonce := a.Nonce(seq)
-	inner, err := a.aead.Open(nil, nonce[:], ct, aad)
+	base := len(dst)
+	out, err := a.aead.Open(dst[:base], a.nonceInto(seq), ct, aad)
 	if err != nil {
-		return nil, 0, ErrAuthFailed
+		return dst, 0, ErrAuthFailed
 	}
 	// Strip RFC 8446 zero padding from the right, then the content type.
+	inner := out[base:]
 	i := len(inner)
 	for i > 0 && inner[i-1] == 0 {
 		i--
 	}
 	if i == 0 {
-		return nil, 0, ErrBadRecord // all padding, no content type
+		return dst, 0, ErrBadRecord // all padding, no content type
 	}
-	return inner[:i-1], inner[i-1], nil
+	return out[:base+i-1], inner[i-1], nil
 }
 
 // RecordWireLen returns the serialized length of one record carrying n

@@ -47,6 +47,13 @@ func (f Flow) FastHash() uint64 {
 // plus payload bytes. Headers are kept decoded to avoid re-parsing at
 // every hop, but MarshalBinary/UnmarshalBinary produce and consume the
 // exact wire image so tests can exercise real encode/decode.
+//
+// Steady-state packets come from a PacketPool and own their payload
+// storage (Payload aliases the packet's internal buffer, filled via
+// SetPayload/CopyFrom). A producer may also bind Payload directly to
+// memory it owns — a "borrowed" payload — but then it must guarantee
+// that memory stays valid until the packet is consumed; the internal
+// buffer is preserved across such borrows and restored by Reset.
 type Packet struct {
 	IP      IPv4Header
 	Overlay OverlayHeader
@@ -55,6 +62,12 @@ type Packet struct {
 	// TSOSegLen, when a packet represents an un-split TSO segment inside
 	// the host, holds the full segment length; zero on the wire.
 	TSOSegLen int
+
+	// buf is the pool-owned payload storage; pool/pooled track freelist
+	// membership (see PacketPool).
+	buf    []byte
+	pool   *PacketPool
+	pooled bool
 }
 
 // Flow returns the packet's 5-tuple.
@@ -91,14 +104,83 @@ func (p *Packet) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	payload := data[IPv4HeaderLen+OverlayHeaderLen:]
-	p.Payload = append(p.Payload[:0], payload...)
+	p.buf = append(p.buf[:0], payload...)
+	p.Payload = p.buf
 	p.TSOSegLen = 0
 	return nil
 }
 
-// Clone returns a deep copy of the packet (payload included).
+// Clone returns a deep copy of the packet (payload included). The copy is
+// unpooled: it owns fresh memory and Release on it is a no-op.
 func (p *Packet) Clone() *Packet {
-	q := *p
+	q := &Packet{IP: p.IP, Overlay: p.Overlay, TSOSegLen: p.TSOSegLen}
 	q.Payload = append([]byte(nil), p.Payload...)
-	return &q
+	return q
+}
+
+// Reset clears the packet for reuse: zero headers, empty payload aliasing
+// the packet's own storage.
+func (p *Packet) Reset() {
+	p.IP = IPv4Header{}
+	p.Overlay = OverlayHeader{}
+	p.TSOSegLen = 0
+	p.Payload = p.buf[:0]
+}
+
+// SetPayload copies b into the packet's own storage. This is the owning
+// way to fill a pooled packet's payload; the copy decouples the packet's
+// lifetime from the producer's buffer.
+func (p *Packet) SetPayload(b []byte) {
+	p.buf = append(p.buf[:0], b...)
+	p.Payload = p.buf
+}
+
+// CopyFrom makes p a deep copy of src using p's own storage (the pooled
+// counterpart of Clone).
+func (p *Packet) CopyFrom(src *Packet) {
+	p.IP = src.IP
+	p.Overlay = src.Overlay
+	p.TSOSegLen = src.TSOSegLen
+	p.SetPayload(src.Payload)
+}
+
+// Release returns the packet to the pool it came from; on an unpooled
+// packet it is a no-op. Releasing the same packet twice panics — a
+// double release means two owners, which would corrupt the pool.
+func (p *Packet) Release() {
+	if p.pool != nil {
+		p.pool.put(p)
+	}
+}
+
+// PacketPool is a free list of Packets. It is not safe for concurrent
+// use: one pool belongs to one simulated world (single goroutine), like
+// the engine it feeds. The zero value is ready to use.
+type PacketPool struct {
+	free []*Packet
+}
+
+// Get returns a Reset packet owned by the caller. Ownership transfers
+// along the data path (producer → NIC → network → receiving host); the
+// final consumer calls Release.
+func (pp *PacketPool) Get() *Packet {
+	var p *Packet
+	if n := len(pp.free); n > 0 {
+		p = pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		p.pooled = false
+	} else {
+		p = &Packet{pool: pp}
+	}
+	p.Reset()
+	return p
+}
+
+func (pp *PacketPool) put(p *Packet) {
+	if p.pooled {
+		panic("wire: packet released twice")
+	}
+	p.pooled = true
+	pp.free = append(pp.free, p)
 }

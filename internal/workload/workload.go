@@ -140,10 +140,11 @@ type OpenLoop struct {
 	streams int
 	rate    float64 // aggregate arrivals per second
 
-	warm   sim.Time
-	stop   sim.Time
-	nextID uint64
-	sent   map[uint64]sentReq
+	warm      sim.Time
+	stop      sim.Time
+	nextID    uint64
+	sent      map[uint64]sentReq
+	arrivalFn func() // prebuilt arrival callback (method values allocate)
 
 	// Ideal maps message size to its unloaded ideal completion time in
 	// nanoseconds. When set, each in-window completion also records
@@ -174,7 +175,7 @@ func NewOpenLoop(eng *sim.Engine, dist Dist, clients, streams int, rate float64,
 	if rate <= 0 {
 		panic(fmt.Sprintf("workload: need rate > 0; got %g", rate))
 	}
-	return &OpenLoop{
+	o := &OpenLoop{
 		eng:     eng,
 		dist:    dist,
 		issue:   issue,
@@ -183,6 +184,8 @@ func NewOpenLoop(eng *sim.Engine, dist Dist, clients, streams int, rate float64,
 		rate:    rate,
 		sent:    make(map[uint64]sentReq),
 	}
+	o.arrivalFn = o.arrival
+	return o
 }
 
 // Start launches the Poisson arrival process: the first arrival is one
@@ -191,7 +194,7 @@ func NewOpenLoop(eng *sim.Engine, dist Dist, clients, streams int, rate float64,
 // cover [warm, stop) only.
 func (o *OpenLoop) Start(warm, stop sim.Time) {
 	o.warm, o.stop = warm, stop
-	o.eng.After(o.gap(), o.arrival)
+	o.eng.PostAfter(o.gap(), o.arrivalFn)
 }
 
 // gap draws one exponential interarrival interval.
@@ -218,7 +221,7 @@ func (o *OpenLoop) arrival() {
 		o.IssuedBytes += uint64(size)
 	}
 	o.issue(client, stream, id, size)
-	o.eng.After(o.gap(), o.arrival)
+	o.eng.PostAfter(o.gap(), o.arrivalFn)
 }
 
 // Done reports the completion of reqID. Only requests both issued and
