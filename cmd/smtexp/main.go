@@ -11,6 +11,14 @@
 //	smtexp -run loadsweep -json s.json  # open-loop slowdown-vs-load sweep
 //	smtexp -run all -json all.json   # the full evaluation
 //	smtexp -stacks TCP,TCPLS,SMT-hw -run loadsweep
+//	smtexp -run all -audit           # every world wire-audited
+//
+// -audit attaches the wire-compliance auditor (internal/audit) to every
+// world the run builds. The auditor is a pure observer — artifacts are
+// byte-identical with it on — and after the run each world is drained
+// and settled: plaintext/nonce/keystream/framing invariants, byte
+// conservation, and packet-pool leak-freedom. Any violation exits
+// nonzero.
 //
 // -stacks selects the lineup the lineup-driven experiments (fig6, fig7,
 // fig9, incast, multiclient, loadsweep) sweep: any comma-separated
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"smt/internal/experiments"
+	"smt/internal/sim"
 )
 
 func main() {
@@ -46,6 +55,7 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent points")
 		jsonOut = flag.String("json", "", "write a JSON artifact to this path")
 		quiet   = flag.Bool("quiet", false, "suppress per-point rows; print summaries only")
+		audit   = flag.Bool("audit", false, "wire-audit every world; summarize violations after the run (nonzero exit on any)")
 	)
 	flag.Parse()
 
@@ -64,7 +74,7 @@ func main() {
 	case *list:
 		listExperiments()
 	case *run != "":
-		if err := runExperiments(*run, *workers, *jsonOut, *quiet); err != nil {
+		if err := runExperiments(*run, *workers, *jsonOut, *quiet, *audit); err != nil {
 			fmt.Fprintln(os.Stderr, "smtexp:", err)
 			os.Exit(1)
 		}
@@ -94,7 +104,7 @@ func listExperiments() {
 	}
 }
 
-func runExperiments(arg string, workers int, jsonOut string, quiet bool) error {
+func runExperiments(arg string, workers int, jsonOut string, quiet, audit bool) error {
 	names := splitNames(arg)
 	if len(names) == 0 {
 		return fmt.Errorf("no experiment names in %q (try -list)", arg)
@@ -106,6 +116,10 @@ func runExperiments(arg string, workers int, jsonOut string, quiet bool) error {
 	if !quiet {
 		onResult = printResult
 	}
+	if audit {
+		experiments.SetAuditAll(true)
+		defer experiments.SetAuditAll(false)
+	}
 	start := time.Now()
 	runs, err := experiments.RunNamed(names, experiments.RunOptions{
 		Workers:  workers,
@@ -113,6 +127,10 @@ func runExperiments(arg string, workers int, jsonOut string, quiet bool) error {
 	})
 	if err != nil {
 		return err
+	}
+	var auditErr error
+	if audit {
+		auditErr = settleAudit()
 	}
 
 	var points, failed int
@@ -144,6 +162,36 @@ func runExperiments(arg string, workers int, jsonOut string, quiet bool) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d point(s) failed", failed)
+	}
+	return auditErr
+}
+
+// settleAudit drains every audited world and settles the wire audit:
+// quiescence, the auditor's invariant set, byte conservation, and
+// packet-pool leak-freedom. Individual violations print to stderr
+// (capped by the auditor's recording bound) above a one-line summary.
+func settleAudit() error {
+	worlds := experiments.TakeAuditedWorlds()
+	var violations, leaked, stuck int
+	var pkts uint64
+	for _, w := range worlds {
+		if !w.DrainQuiesce(2 * sim.Second) {
+			stuck++
+			continue
+		}
+		w.Audit.CheckConservation(w.Net)
+		st := w.Audit.Stats()
+		pkts += st.Packets
+		violations += int(st.TotalViolations)
+		leaked += w.Net.OutstandingPackets()
+		for _, v := range w.Audit.Violations() {
+			fmt.Fprintln(os.Stderr, "audit:", v.String())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "audit: %d worlds, %d packets observed, %d violations, %d leaked packets, %d worlds failed to quiesce\n",
+		len(worlds), pkts, violations, leaked, stuck)
+	if violations > 0 || leaked > 0 || stuck > 0 {
+		return fmt.Errorf("audit failed: %d violations, %d leaked packets, %d worlds failed to quiesce", violations, leaked, stuck)
 	}
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"smt/internal/sim"
 )
 
 // This file holds the cross-experiment determinism contract: any
@@ -41,6 +43,9 @@ func artifactJSON(t *testing.T, e Experiment, pts []Point, workers int) []byte {
 func spreadPoints(pts []Point, n int) []Point {
 	if len(pts) <= n {
 		return pts
+	}
+	if n <= 1 {
+		return pts[:1]
 	}
 	out := make([]Point, 0, n)
 	for i := 0; i < n; i++ {
@@ -80,13 +85,43 @@ func TestDeterministicArtifacts(t *testing.T) {
 }
 
 // TestDeterminismCoverage pins that the experiments whose determinism
-// is least obvious — the fabric sweeps and the randomized open-loop
-// load sweep — are in the registry TestDeterministicArtifacts walks.
+// is least obvious — the fabric sweeps, the randomized open-loop load
+// sweep, and the fault-injecting chaos battery — are in the registry
+// TestDeterministicArtifacts walks.
 func TestDeterminismCoverage(t *testing.T) {
-	for _, name := range []string{"incast", "multiclient", "loadsweep"} {
+	for _, name := range []string{"incast", "multiclient", "loadsweep", "chaos"} {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("%s not registered; determinism battery no longer covers it", name)
 		}
+	}
+}
+
+// TestPacketPoolLeakFreedom asserts, for every registered experiment,
+// that a drained world returns every pooled packet: the zero-allocation
+// data path (PR 5) recycles packets through wire.PacketPool, so any
+// code path that loses a reference (a dropped retransmit, an abandoned
+// reassembly, a dead connection's queue) shows up here as a nonzero
+// outstanding count. Uses the audit hook only to capture the worlds a
+// point builds; the assertion is about the pool, not the tap.
+func TestPacketPoolLeakFreedom(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			if e.Name() == "table2" {
+				t.Skip("table2 measures wall-clock crypto cost; no simulated network")
+			}
+			for _, pt := range spreadPoints(e.Points(), 2) {
+				for _, w := range auditWorldsOf(t, e, pt) {
+					if !w.DrainQuiesce(2 * sim.Second) {
+						t.Errorf("%s: world did not quiesce (%d events pending)", pt.Key, w.Eng.Pending())
+						continue
+					}
+					if n := w.Net.OutstandingPackets(); n != 0 {
+						t.Errorf("%s: %d pooled packets still outstanding after drain", pt.Key, n)
+					}
+				}
+			}
+		})
 	}
 }
 
@@ -109,5 +144,8 @@ func TestSpreadPoints(t *testing.T) {
 	}
 	if n := len(spreadPoints(pts[:3], 4)); n != 3 {
 		t.Errorf("small list should pass through, got %d", n)
+	}
+	if got := spreadPoints(pts, 1); len(got) != 1 || got[0].Index != 0 {
+		t.Errorf("n=1 should return the first point, got %v", got)
 	}
 }

@@ -346,6 +346,34 @@ func init() {
 		return specs
 	})
 
+	register("chaos", "fault/chaos battery: loss+dup+reorder+corruption storms × every stack, audited fail-closed", func() []pointSpec {
+		var specs []pointSpec
+		for li := range ChaosLevels {
+			level := ChaosLevels[li]
+			seed := chaosSeed(li)
+			for _, stack := range Stacks() {
+				stack := stack
+				specs = append(specs, pointSpec{
+					Key:    fmt.Sprintf("sys=%s/fault=%s", stack.Name, level.Name),
+					Seed:   seed,
+					Labels: Labels{"system": stack.Name, "fault": level.Name},
+					Run: func() (Values, error) {
+						sys, err := BuildFabric(stack)
+						if err != nil {
+							return nil, err
+						}
+						r, err := MeasureChaos(sys, level.C, seed)
+						if err != nil {
+							return nil, err
+						}
+						return chaosValues(r), nil
+					},
+				})
+			}
+		}
+		return specs
+	})
+
 	register("fig2", "autonomous-offload resync semantics: in-seq, out-of-seq, resync-repaired (§3.2)", func() []pointSpec {
 		var specs []pointSpec
 		for i := range fig2Scenarios {

@@ -7,7 +7,7 @@ import (
 
 // expectedExperiments is the full catalogue every build must register.
 var expectedExperiments = []string{
-	"cpuusage", "fig10", "fig11", "fig12", "fig2", "fig5",
+	"chaos", "cpuusage", "fig10", "fig11", "fig12", "fig2", "fig5",
 	"fig6", "fig7", "fig7mtu", "fig8", "fig9", "incast",
 	"loadsweep", "multiclient", "table1", "table2",
 }
@@ -93,6 +93,7 @@ func TestRegistryPoints(t *testing.T) {
 // grid without the registry following along fails fast.
 func TestRegistryPointCounts(t *testing.T) {
 	want := map[string]int{
+		"chaos":       len(ChaosLevels) * len(Stacks()),
 		"fig6":        len(Fig6Sizes) * len(Fig6Systems()),
 		"fig7":        len(Fig7Sizes) * len(Fig7Concurrency) * len(Fig6Systems()),
 		"fig7mtu":     len(Fig7MTUConcurrency) * len(Fig7MTUs) * 2,

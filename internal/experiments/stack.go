@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"smt/internal/cost"
+	"smt/internal/cpusim"
 	"smt/internal/ktls"
 	"smt/internal/tcpls"
 	"smt/internal/tcpsim"
@@ -154,7 +155,34 @@ func streamRecordFor(spec StackSpec) (*streamRecord, error) {
 // codec/session setup from the record-layer constructors above. A
 // combination the decomposition cannot express returns a descriptive
 // error; nothing in the build path panics on bad input.
+//
+// The composed Setup also declares the spec's encryption policy to the
+// world's wire auditor (when one is attached): plain record layers are
+// allowed plaintext on the wire, everything else must show ciphertext.
 func BuildFabric(spec StackSpec) (FabricSystem, error) {
+	f, err := buildFabric(spec)
+	if err != nil {
+		return FabricSystem{}, err
+	}
+	return withAuditPolicy(f, spec.Record != RecordPlain), nil
+}
+
+// withAuditPolicy wraps a fabric Setup so the world's auditor (if any)
+// learns whether this stack's data path is expected to be ciphertext
+// before any traffic flows.
+func withAuditPolicy(f FabricSystem, encrypted bool) FabricSystem {
+	inner := f.Setup
+	f.Setup = func(w *World, clients []*cpusim.Host, server *cpusim.Host, cfg FabricConfig, done func(int, uint64)) (func(int, int, uint64, int, int), error) {
+		if w.Audit != nil {
+			w.Audit.SetExpectCiphertext(encrypted)
+		}
+		return inner(w, clients, server, cfg, done)
+	}
+	return f
+}
+
+// buildFabric is BuildFabric without the audit-policy wrapper.
+func buildFabric(spec StackSpec) (FabricSystem, error) {
 	switch spec.Transport {
 	case TransportTCP:
 		rec, err := streamRecordFor(spec)

@@ -37,6 +37,7 @@ package experiments
 import (
 	"fmt"
 
+	"smt/internal/audit"
 	"smt/internal/core"
 	"smt/internal/cost"
 	"smt/internal/cpusim"
@@ -74,6 +75,25 @@ type World struct {
 	Hosts  []*cpusim.Host
 	Client *cpusim.Host // Hosts[0]
 	Server *cpusim.Host // Hosts[1]
+
+	// Audit is the wire-compliance auditor tapping Net, nil unless
+	// EnableAudit or SetAuditAll attached one. Purely an observer:
+	// artifacts are byte-identical with or without it.
+	Audit *audit.Auditor
+
+	// Check, when non-nil, observes every RPC payload the fabric
+	// wirings' application layer accepts (client and server sides,
+	// before decoding). The chaos battery uses it to prove fail-closed
+	// behavior: a stack that lets the network's tampering through shows
+	// up here as a corrupted payload reaching the application.
+	Check func(m []byte)
+}
+
+// checkDelivery feeds an accepted application payload to the Check hook.
+func (w *World) checkDelivery(m []byte) {
+	if w.Check != nil {
+		w.Check(m)
+	}
 }
 
 // NewWorld builds a fresh two-host back-to-back testbed (the paper's §5
@@ -95,6 +115,7 @@ func NewFabricWorld(seed int64, topo netsim.Topology) *World {
 		w.Hosts = append(w.Hosts, cpusim.NewHost(eng, cm, net, wire.HostAddr(i), StackCores, AppThreads))
 	}
 	w.Client, w.Server = w.Hosts[0], w.Hosts[1]
+	maybeAuditWorld(w)
 	return w
 }
 
@@ -185,6 +206,7 @@ func homaFabric(name string) FabricSystem {
 		var encBuf []byte
 		srv := homa.NewSocket(server, homa.Config{Port: ServerPort, MTU: cfg.MTU, NoTSO: cfg.NoTSO, AppThreads: serverThreads()}, nil)
 		srv.OnMessage(func(d homa.Delivery) {
+			w.checkDelivery(d.Payload)
 			id, respSize, err := rpc.Decode(d.Payload)
 			if err != nil {
 				return
@@ -199,6 +221,7 @@ func homaFabric(name string) FabricSystem {
 			ci := ci
 			cli := homa.NewSocket(ch, homa.Config{MTU: cfg.MTU, NoTSO: cfg.NoTSO}, nil)
 			cli.OnMessage(func(d homa.Delivery) {
+				w.checkDelivery(d.Payload)
 				if id, _, err := rpc.Decode(d.Payload); err == nil {
 					done(ci, id)
 				}
@@ -235,6 +258,7 @@ func smtFabric(name string, hw bool) FabricSystem {
 				return nil, fmt.Errorf("%s: pair sessions for client %d: %w", name, ci, err)
 			}
 			cli.OnMessage(func(d homa.Delivery) {
+				w.checkDelivery(d.Payload)
 				if id, _, err := rpc.Decode(d.Payload); err == nil {
 					done(ci, id)
 				}
@@ -242,6 +266,7 @@ func smtFabric(name string, hw bool) FabricSystem {
 			clis[ci] = cli
 		}
 		srv.OnMessage(func(d homa.Delivery) {
+			w.checkDelivery(d.Payload)
 			id, respSize, err := rpc.Decode(d.Payload)
 			if err != nil {
 				return
@@ -288,6 +313,7 @@ func tcpFabricFamily(name string, rec *streamRecord) FabricSystem {
 			return t
 		}, func(c *tcpsim.Conn) {
 			c.OnMessage(func(m []byte) {
+				w.checkDelivery(m)
 				id, respSize, err := rpc.Decode(m)
 				if err != nil {
 					return
@@ -313,6 +339,7 @@ func tcpFabricFamily(name string, rec *streamRecord) FabricSystem {
 				}
 				c := tcpsim.Dial(ch, i%AppThreads, tcfg, cliCodec, server.Addr, serverPortK, nil)
 				c.OnMessage(func(m []byte) {
+					w.checkDelivery(m)
 					if id, _, err := rpc.Decode(m); err == nil {
 						done(ci, id)
 					}

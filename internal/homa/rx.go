@@ -142,8 +142,13 @@ func (s *Socket) rxData(pkt *wire.Packet, core int) {
 	m, ok := p.in[id]
 	if !ok {
 		if p.done[id] {
+			// Late duplicate of a completed message. Re-ACK it: the
+			// original ACK may have been lost, and the sender re-pushes on
+			// its timeout until one arrives — discarding silently would
+			// deadlock the pair into a permanent re-push/discard cycle.
 			s.Stats.SpuriousPkts++
-			return // late duplicate of a completed message
+			s.ctrl(pk, wire.TypeAck, id, 0, 0, core)
+			return
 		}
 		if m = s.newInMsg(p, pkt, core); m == nil {
 			return // replay or garbage: dropped without decryption

@@ -45,6 +45,67 @@ type SwitchConfig struct {
 // DefaultSwitchLatency approximates a cut-through ToR switch hop.
 const DefaultSwitchLatency = 300 * sim.Nanosecond
 
+// DropReason classifies why the network dropped a packet, for observer
+// taps.
+type DropReason uint8
+
+// Drop reasons.
+const (
+	// DropNoRoute: no endpoint is attached at the destination address.
+	DropNoRoute DropReason = iota
+	// DropPartition: the network is partitioned (failure injection).
+	DropPartition
+	// DropLoss: random loss injection (LossProb).
+	DropLoss
+	// DropSwitchBuffer: shared-buffer tail drop at the switch.
+	DropSwitchBuffer
+)
+
+// String names the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropNoRoute:
+		return "no-route"
+	case DropPartition:
+		return "partition"
+	case DropLoss:
+		return "loss"
+	case DropSwitchBuffer:
+		return "switch-buffer"
+	default:
+		return fmt.Sprintf("DropReason(%d)", uint8(r))
+	}
+}
+
+// Tap is a promiscuous observer of every packet crossing the network —
+// the attachment point of the wire-compliance auditor (internal/audit).
+//
+// The observer contract, which keeps default artifacts byte-identical
+// with a tap attached:
+//
+//   - A tap must not mutate packets, the network, or anything reachable
+//     from them. Payload slices passed to a tap may alias borrowed
+//     producer memory that is mutated after the callback returns (the
+//     kTLS-style in-place retransmit re-seal); taps copy what they keep.
+//   - A tap must not draw from the engine RNG or schedule events: fault
+//     sampling consumes the engine's RNG stream in a fixed order, and
+//     any extra draw or event would perturb every seeded run.
+//
+// Callbacks fire synchronously on the single simulation goroutine:
+// PacketSent at Deliver entry (before fault draws), then exactly one of
+// PacketDropped or PacketDelivered for that packet; PacketDelivered
+// additionally fires for each duplicate copy DupProb injects.
+type Tap interface {
+	// PacketSent observes a packet entering the network at Deliver.
+	PacketSent(pkt *wire.Packet)
+	// PacketDropped observes a drop (the packet is released after).
+	PacketDropped(pkt *wire.Packet, reason DropReason)
+	// PacketDelivered observes a packet committed for final delivery
+	// (counted in Delivered); dup marks the extra copies DupProb
+	// injects. Injected payload corruption is visible as pkt.Tampered.
+	PacketDelivered(pkt *wire.Packet, dup bool)
+}
+
 // Topology describes a fabric: how many hosts attach and what connects
 // them. Hosts are addressed wire.HostAddr(0..Hosts-1); the two-host
 // back-to-back testbed of the paper is Topology{Hosts: 2}.
@@ -119,6 +180,9 @@ func (h *hopEvent) Run() {
 		if dst, ok := n.eps[pkt.IP.Dst]; ok {
 			n.finalHop(pkt, dst, 0)
 		} else {
+			if n.tap != nil {
+				n.tap.PacketDropped(pkt, DropNoRoute)
+			}
 			n.Dropped.Add(1, uint64(pkt.WireLen()))
 			pkt.Release()
 		}
@@ -165,6 +229,9 @@ type Network struct {
 	pool    wire.PacketPool
 	hopFree []*hopEvent
 
+	// tap, when non-nil, observes every packet (see Tap).
+	tap Tap
+
 	// LossProb drops each packet independently with this probability.
 	LossProb float64
 	// DupProb delivers an extra copy of the packet.
@@ -173,6 +240,11 @@ type Network struct {
 	// overtake it.
 	ReorderProb  float64
 	ReorderDelay sim.Time
+	// CorruptProb flips one payload byte of the packet (bit-rot / in-
+	// flight tampering injection). Corrupted packets are marked
+	// wire.Packet.Tampered so tests can tell injected faults from
+	// protocol bugs; receivers must reject them cryptographically.
+	CorruptProb float64
 	// Partitioned, when true, drops everything (failure injection).
 	Partitioned bool
 
@@ -186,6 +258,10 @@ type Network struct {
 	Dropped     stats.Counter
 	SwitchDrops stats.Counter
 	Duplicated  stats.Counter
+	// Corrupted counts packets whose payload CorruptProb tampered with;
+	// they continue toward delivery (and are also counted in Delivered
+	// or Dropped like any other packet).
+	Corrupted stats.Counter
 	// QueueDepth tracks the shared-buffer occupancy (bytes) sampled at
 	// every switch enqueue, for congestion observability.
 	QueueDepth stats.Histogram
@@ -210,6 +286,15 @@ func (n *Network) AcquirePacket() *wire.Packet { return n.pool.Get() }
 // BufferUsed reports the switch shared-buffer occupancy in bytes.
 func (n *Network) BufferUsed() int { return n.bufUsed }
 
+// OutstandingPackets reports how many pooled packets are in flight (see
+// wire.PacketPool.OutstandingPackets). Zero at quiescence; a positive
+// count means a drop or consumption path lost a packet without Release.
+func (n *Network) OutstandingPackets() int { return n.pool.OutstandingPackets() }
+
+// SetTap attaches a promiscuous observer (nil detaches). The tap must
+// honor the Tap contract: no mutation, no engine RNG draws, no events.
+func (n *Network) SetTap(t Tap) { n.tap = t }
+
 // Attach registers the receive entry point for addr (a host's NIC RX).
 // Attaching an address twice replaces the handler.
 func (n *Network) Attach(addr uint32, rx func(*wire.Packet)) {
@@ -224,22 +309,50 @@ func (n *Network) Attach(addr uint32, rx func(*wire.Packet)) {
 // the switch's egress port for the destination. Unknown destinations and
 // injected faults drop silently, as a real fabric would.
 func (n *Network) Deliver(pkt *wire.Packet) {
+	if n.tap != nil {
+		n.tap.PacketSent(pkt)
+	}
 	dst, ok := n.eps[pkt.IP.Dst]
 	if !ok || n.Partitioned {
+		if n.tap != nil {
+			reason := DropNoRoute
+			if ok {
+				reason = DropPartition
+			}
+			n.tap.PacketDropped(pkt, reason)
+		}
 		n.Dropped.Add(1, uint64(pkt.WireLen()))
 		pkt.Release()
 		return
 	}
 	if n.LossProb > 0 && n.eng.Rand().Float64() < n.LossProb {
+		if n.tap != nil {
+			n.tap.PacketDropped(pkt, DropLoss)
+		}
 		n.Dropped.Add(1, uint64(pkt.WireLen()))
 		pkt.Release()
 		return
+	}
+	if n.CorruptProb > 0 && len(pkt.Payload) > 0 &&
+		n.eng.Rand().Float64() < n.CorruptProb {
+		n.corrupt(pkt)
 	}
 	if n.sw != nil {
 		n.switchEnqueue(pkt)
 		return
 	}
 	n.finalHop(pkt, dst, 0)
+}
+
+// corrupt flips one payload byte in place. The payload may be borrowed
+// (aliasing producer memory a retransmit path will re-read), so the
+// packet is first given its own copy; the mutation then cannot leak back
+// into the sender's state.
+func (n *Network) corrupt(pkt *wire.Packet) {
+	pkt.SetPayload(pkt.Payload)
+	pkt.Payload[n.eng.Rand().Intn(len(pkt.Payload))] ^= 0xff
+	pkt.Tampered = true
+	n.Corrupted.Add(1, uint64(pkt.WireLen()))
 }
 
 // finalHop schedules arrival at the destination NIC: one-way propagation
@@ -251,6 +364,9 @@ func (n *Network) finalHop(pkt *wire.Packet, dst func(*wire.Packet), extra sim.T
 		delay += n.ReorderDelay
 	}
 	n.Delivered.Add(1, uint64(pkt.WireLen()))
+	if n.tap != nil {
+		n.tap.PacketDelivered(pkt, false)
+	}
 	h := n.getHop()
 	h.stage, h.pkt, h.dst = hopDeliver, pkt, dst
 	n.eng.PostAction(n.eng.Now()+delay, h)
@@ -259,6 +375,9 @@ func (n *Network) finalHop(pkt *wire.Packet, dst func(*wire.Packet), extra sim.T
 		dup.CopyFrom(pkt)
 		n.Delivered.Add(1, uint64(dup.WireLen()))
 		n.Duplicated.Add(1, uint64(dup.WireLen()))
+		if n.tap != nil {
+			n.tap.PacketDelivered(dup, true)
+		}
 		hd := n.getHop()
 		hd.stage, hd.pkt, hd.dst = hopDeliver, dup, dst
 		n.eng.PostAction(n.eng.Now()+delay+sim.Microsecond, hd)
@@ -270,6 +389,9 @@ func (n *Network) finalHop(pkt *wire.Packet, dst func(*wire.Packet), extra sim.T
 func (n *Network) switchEnqueue(pkt *wire.Packet) {
 	size := pkt.WireLen()
 	if max := n.sw.BufferBytes; max > 0 && n.bufUsed+size > max {
+		if n.tap != nil {
+			n.tap.PacketDropped(pkt, DropSwitchBuffer)
+		}
 		n.Dropped.Add(1, uint64(size))
 		n.SwitchDrops.Add(1, uint64(size))
 		pkt.Release()

@@ -261,3 +261,87 @@ func TestSwitchDeterministic(t *testing.T) {
 		t.Fatalf("switched fabric not deterministic: (%v,%d,%d) vs (%v,%d,%d)", e1, d1, x1, e2, d2, x2)
 	}
 }
+
+// TestCombinedFaultInjection drives every fault knob at once — loss,
+// duplication, reordering, and payload corruption — over both wirings,
+// and checks the ledger the auditor's conservation pass relies on:
+// every packet that entered is either committed for delivery or dropped
+// (duplicates counted on both sides), the receiver sees exactly the
+// committed packets, corrupted deliveries are marked, and the pool gets
+// every packet back.
+func TestCombinedFaultInjection(t *testing.T) {
+	cases := []struct {
+		name                        string
+		loss, dup, reorder, corrupt float64
+		switched                    bool
+	}{
+		{"ideal-mild", 0.01, 0.01, 0.05, 0.02, false},
+		{"ideal-storm", 0.2, 0.1, 0.3, 0.2, false},
+		{"switched-mild", 0.01, 0.01, 0.05, 0.02, true},
+		{"switched-storm", 0.2, 0.1, 0.3, 0.2, true},
+	}
+	const sent = 2000
+	payload := make([]byte, 200)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine(11)
+			var n *Network
+			if tc.switched {
+				n = Topology{Hosts: 2, Switch: &SwitchConfig{}}.Build(eng, cost.Default())
+			} else {
+				n = New(eng, cost.Default())
+			}
+			var got, tampered int
+			var gotBytes uint64
+			n.Attach(2, func(p *wire.Packet) {
+				got++
+				gotBytes += uint64(p.WireLen())
+				if p.Tampered {
+					tampered++
+				}
+				p.Release()
+			})
+			n.LossProb, n.DupProb = tc.loss, tc.dup
+			n.ReorderProb, n.CorruptProb = tc.reorder, tc.corrupt
+			n.ReorderDelay = 20 * sim.Microsecond
+			var sentBytes uint64
+			eng.At(0, func() {
+				for i := 0; i < sent; i++ {
+					p := n.AcquirePacket()
+					p.IP = wire.IPv4Header{TTL: 64, Protocol: wire.ProtoHoma, Src: 1, Dst: 2}
+					p.SetPayload(payload)
+					sentBytes += uint64(p.WireLen())
+					n.Deliver(p)
+				}
+			})
+			eng.Run()
+
+			if n.Delivered.N+n.Dropped.N != sent+n.Duplicated.N {
+				t.Errorf("packet ledger: delivered %d + dropped %d != sent %d + duplicated %d",
+					n.Delivered.N, n.Dropped.N, sent, n.Duplicated.N)
+			}
+			if n.Delivered.Bytes+n.Dropped.Bytes != sentBytes+n.Duplicated.Bytes {
+				t.Errorf("byte ledger: delivered %d + dropped %d != sent %d + duplicated %d",
+					n.Delivered.Bytes, n.Dropped.Bytes, sentBytes, n.Duplicated.Bytes)
+			}
+			if uint64(got) != n.Delivered.N || gotBytes != n.Delivered.Bytes {
+				t.Errorf("receiver saw %d pkts / %d B, network committed %d / %d",
+					got, gotBytes, n.Delivered.N, n.Delivered.Bytes)
+			}
+			if n.Dropped.N == 0 || n.Duplicated.N == 0 || n.Corrupted.N == 0 {
+				t.Errorf("fault knobs inert: dropped=%d duplicated=%d corrupted=%d",
+					n.Dropped.N, n.Duplicated.N, n.Corrupted.N)
+			}
+			if tampered == 0 {
+				t.Error("no delivered packet carried the Tampered mark")
+			}
+			if out := n.OutstandingPackets(); out != 0 {
+				t.Errorf("%d pooled packets leaked", out)
+			}
+		})
+	}
+}

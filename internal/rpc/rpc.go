@@ -56,6 +56,23 @@ func AppendEncode(b []byte, reqID uint64, respSize uint32, size int) []byte {
 	return b
 }
 
+// BodyValid reports whether an RPC payload's body matches the Encode
+// filler pattern (body byte at offset i is byte(i)). The header bytes
+// carry arbitrary values and are not checked. Fault-injection tests use
+// this to detect a payload that was tampered with in flight yet still
+// delivered to the application.
+func BodyValid(b []byte) bool {
+	if len(b) < HeaderLen {
+		return false
+	}
+	for i := HeaderLen; i < len(b); i++ {
+		if b[i] != byte(i) {
+			return false
+		}
+	}
+	return true
+}
+
 // Decode extracts the header from an RPC payload.
 func Decode(b []byte) (reqID uint64, respSize uint32, err error) {
 	if len(b) < HeaderLen {

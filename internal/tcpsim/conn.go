@@ -2,6 +2,7 @@ package tcpsim
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"smt/internal/cpusim"
@@ -9,6 +10,17 @@ import (
 	"smt/internal/sim"
 	"smt/internal/wire"
 )
+
+// MaxRTOStrikes is how many consecutive retransmission timeouts (with no
+// cumulative-ACK progress between them) a connection tolerates before
+// declaring the peer dead, mirroring the kernel's retransmission cap. Any
+// ACK progress resets the count, so only a torn-down or fully partitioned
+// peer ever trips it.
+const MaxRTOStrikes = 8
+
+// ErrTimeout is reported via OnError when MaxRTOStrikes consecutive
+// retransmission timeouts elapse without progress (ETIMEDOUT semantics).
+var ErrTimeout = errors.New("tcpsim: retransmission timeout (peer unresponsive)")
 
 // Config tunes connections.
 type Config struct {
@@ -71,6 +83,7 @@ type Conn struct {
 	recover    int64 // NewReno recovery point: one fast retransmit per window
 	rto        sim.Timer
 	rtoFn      func() // prebuilt RTO callback
+	rtoStrikes int    // consecutive RTO firings without cumulative-ACK progress
 	nicNext    uint64 // next record seq the NIC context expects (hw)
 	ctxID      uint64
 	txFree     []*txBuf // recycled TSO-segment assembly buffers
@@ -270,6 +283,19 @@ func (c *Conn) armRTO() {
 			if c.closed || c.sndUna >= c.highWater {
 				return
 			}
+			c.rtoStrikes++
+			if c.rtoStrikes > MaxRTOStrikes {
+				// Peer unresponsive across consecutive timeouts: give up
+				// like the kernel's retransmission cap (ETIMEDOUT). Without
+				// this, a connection whose peer tore down (e.g. on a record
+				// authentication failure) retransmits forever and the world
+				// never quiesces.
+				if c.onError != nil {
+					c.onError(ErrTimeout)
+				}
+				c.Close()
+				return
+			}
 			c.Stats.RTORetx++
 			c.inRecovery = true
 			c.recover = c.sndNxt
@@ -291,9 +317,20 @@ func (c *Conn) retransmitFrom(seq int64) {
 		}
 		cm := c.host.CM
 		c.host.RunSoftirq(c.core, cm.TCPTxSegment, func() {
-			recs := make([]nicsim.RecordDesc, len(tc.chunk.Records))
-			copy(recs, tc.chunk.Records)
-			c.sendSegment(tc.seq, tc.chunk.Bytes, recs, tc, nil, true)
+			if len(tc.chunk.Records) > 0 {
+				// Offloaded records re-seal from the retained plaintext
+				// shell into a pooled copy, like first transmission — never
+				// the shell itself. Sealing the retained bytes in place
+				// would destroy the shell, and a second in-place seal under
+				// the same record sequence XORs the GCM keystream back out:
+				// the retransmission would carry plaintext on the wire.
+				tb := c.getTxBuf()
+				tb.bytes = append(tb.bytes[:0], tc.chunk.Bytes...)
+				tb.recs = append(tb.recs[:0], tc.chunk.Records...)
+				c.sendSegment(tc.seq, tb.bytes, tb.recs, tc, tb.release, true)
+				return
+			}
+			c.sendSegment(tc.seq, tc.chunk.Bytes, nil, nil, nil, true)
 		})
 		return
 	}
@@ -306,6 +343,7 @@ func (c *Conn) handleAck(ack int64) {
 	if ack > c.sndUna {
 		c.sndUna = ack
 		c.dupAcks = 0
+		c.rtoStrikes = 0
 		// Release fully acked chunks.
 		keep := c.chunks[:0]
 		for _, tc := range c.chunks {

@@ -63,6 +63,12 @@ type Packet struct {
 	// the host, holds the full segment length; zero on the wire.
 	TSOSegLen int
 
+	// Tampered marks a packet whose payload was mutated by fault
+	// injection (netsim corruption). It is simulator metadata, not wire
+	// bytes: receivers must detect tampering cryptographically, but the
+	// audit tap uses the mark to tell injected faults from protocol bugs.
+	Tampered bool
+
 	// buf is the pool-owned payload storage; pool/pooled track freelist
 	// membership (see PacketPool).
 	buf    []byte
@@ -113,7 +119,7 @@ func (p *Packet) UnmarshalBinary(data []byte) error {
 // Clone returns a deep copy of the packet (payload included). The copy is
 // unpooled: it owns fresh memory and Release on it is a no-op.
 func (p *Packet) Clone() *Packet {
-	q := &Packet{IP: p.IP, Overlay: p.Overlay, TSOSegLen: p.TSOSegLen}
+	q := &Packet{IP: p.IP, Overlay: p.Overlay, TSOSegLen: p.TSOSegLen, Tampered: p.Tampered}
 	q.Payload = append([]byte(nil), p.Payload...)
 	return q
 }
@@ -124,6 +130,7 @@ func (p *Packet) Reset() {
 	p.IP = IPv4Header{}
 	p.Overlay = OverlayHeader{}
 	p.TSOSegLen = 0
+	p.Tampered = false
 	p.Payload = p.buf[:0]
 }
 
@@ -141,6 +148,7 @@ func (p *Packet) CopyFrom(src *Packet) {
 	p.IP = src.IP
 	p.Overlay = src.Overlay
 	p.TSOSegLen = src.TSOSegLen
+	p.Tampered = src.Tampered
 	p.SetPayload(src.Payload)
 }
 
@@ -158,6 +166,8 @@ func (p *Packet) Release() {
 // the engine it feeds. The zero value is ready to use.
 type PacketPool struct {
 	free []*Packet
+	// outstanding counts packets handed out by Get and not yet Released.
+	outstanding int
 }
 
 // Get returns a Reset packet owned by the caller. Ownership transfers
@@ -173,6 +183,7 @@ func (pp *PacketPool) Get() *Packet {
 	} else {
 		p = &Packet{pool: pp}
 	}
+	pp.outstanding++
 	p.Reset()
 	return p
 }
@@ -182,5 +193,12 @@ func (pp *PacketPool) put(p *Packet) {
 		panic("wire: packet released twice")
 	}
 	p.pooled = true
+	pp.outstanding--
 	pp.free = append(pp.free, p)
 }
+
+// OutstandingPackets reports how many pooled packets are currently in
+// flight (taken by Get, not yet Released). A quiesced world must report
+// zero: a positive count at quiescence means some drop or consumption
+// path lost a packet without releasing it.
+func (pp *PacketPool) OutstandingPackets() int { return pp.outstanding }
