@@ -167,7 +167,10 @@ func BenchmarkFig12KeyExchange(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		for _, m := range modes {
-			r := experiments.MeasureKeyExchange(m, 1024, 5)
+			r, err := experiments.MeasureKeyExchange(m, 1024, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if i == 0 {
 				b.Logf("%-10s %.0fµs", r.Mode, r.TimeUs)
 			}

@@ -2,10 +2,10 @@
 // evaluation from the simulated testbed as formatted, human-readable
 // tables. Run with a subcommand (table1, table2, fig2, fig5, fig6,
 // fig7, fig7mtu, cpuusage, fig8, fig9, fig10, fig11, fig12, incast,
-// multiclient, loadsweep) or `all`.
+// multiclient, loadsweep, churn) or `all`.
 //
 // The lineup-driven tables (fig6, fig7, fig9, incast, multiclient,
-// loadsweep) sweep the default six-stack lineup; -stacks filters or
+// loadsweep, churn) sweep the default six-stack lineup; -stacks filters or
 // extends it with any registered stacks:
 //
 //	smtbench -stacks TCP,TCPLS,SMT-hw loadsweep
@@ -167,7 +167,11 @@ func main() {
 		return nil
 	})
 	run("fig12", func() error {
-		for _, r := range experiments.Fig12() {
+		rows, err := experiments.Fig12()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
 			fmt.Printf("%-10s %6dB %.0fµs\n", r.Mode, r.Size, r.TimeUs)
 		}
 		return nil
@@ -202,6 +206,17 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("%-8s load=%2.0f%% offered=%5.1fGbps goodput=%5.1fGbps slowdown p50=%7.2f p99=%8.2f drops=%d\n",
 				r.System, r.Load*100, r.OfferedGbps, r.GoodputGbps, r.P50Slowdown, r.P99Slowdown, r.SwitchDrops)
+		}
+		return nil
+	})
+	run("churn", func() error {
+		rows, err := experiments.Churn()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-8s hs=%-6s rate=%5.0f/s est=%-4d setup p50=%7.1fµs p99=%7.1fµs hsCPU=%4.1f%% tickets hit=%.2f\n",
+				r.System, r.Policy, r.Rate, r.Established, r.SetupP50Us, r.SetupP99Us, r.HsCPUFrac*100, r.TicketHitRate)
 		}
 		return nil
 	})

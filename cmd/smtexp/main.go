@@ -21,7 +21,7 @@
 // nonzero.
 //
 // -stacks selects the lineup the lineup-driven experiments (fig6, fig7,
-// fig9, incast, multiclient, loadsweep) sweep: any comma-separated
+// fig9, incast, multiclient, loadsweep, churn) sweep: any comma-separated
 // subset of the registered stacks (see -list), defaulting to the
 // six-system lineup of the §5 figures. Each stack is a transport ×
 // record-layer composition from the StackSpec registry, so TCPLS and

@@ -45,7 +45,10 @@ func main() {
 		handshake.Init1RTT, handshake.Init0RTTFS, handshake.Init0RTT,
 		handshake.Rsmp, handshake.RsmpFS,
 	} {
-		r := experiments.MeasureKeyExchange(mode, 1024, 11)
+		r, err := experiments.MeasureKeyExchange(mode, 1024, 11)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("  %-10s first encrypted RPC completed at %7.0f µs\n", r.Mode, r.TimeUs)
 	}
 

@@ -76,6 +76,7 @@ type Stats struct {
 	Duplicates, DuplicateBytes uint64 // injected duplicate copies
 
 	// Content accounting.
+	HandshakePackets uint64 // delivered HANDSHAKE packets (plaintext-exempt)
 	DataPackets      uint64 // delivered DATA packets content-audited
 	Tampered         uint64 // delivered packets marked wire.Packet.Tampered
 	Records          uint64 // complete records reassembled across all flows
@@ -198,6 +199,12 @@ func (a *Auditor) PacketDelivered(pkt *wire.Packet, dup bool) {
 	}
 	if pkt.Tampered {
 		a.stats.Tampered++
+	}
+	// Handshake flights (key exchange, SYN/SYN-ACK) are counted but
+	// exempt from the plaintext invariant: they are the protocol's own
+	// cleartext negotiation, not application data.
+	if pkt.Overlay.Type == wire.TypeHandshake {
+		a.stats.HandshakePackets++
 	}
 	if !a.expectCiphertext || pkt.Overlay.Type != wire.TypeData || len(pkt.Payload) == 0 {
 		return

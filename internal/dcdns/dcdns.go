@@ -22,9 +22,16 @@ type Resolver struct {
 	ttl     sim.Time
 	records map[string]*record
 
-	// Lookups / Hits count query traffic for observability.
-	Lookups uint64
-	Hits    uint64
+	// Query traffic counters. Every successful Query is either a hit
+	// (cached ticket still valid) or a miss (the stored ticket expired
+	// and a fresh one was minted on the spot); failed lookups count in
+	// Lookups only. Rotations counts re-mints, which here equals
+	// Misses — kept separate so a future proactive-rotation policy
+	// (re-mint on a timer, before any client misses) stays observable.
+	Lookups   uint64
+	Hits      uint64
+	Misses    uint64
+	Rotations uint64
 }
 
 type record struct {
@@ -51,21 +58,43 @@ func (r *Resolver) Register(name string, id *handshake.Identity) error {
 	return nil
 }
 
+// Identity returns the registered identity for name (nil if absent) —
+// the server-side credentials a dialed exchange verifies against.
+func (r *Resolver) Identity(name string) *handshake.Identity {
+	if rec, ok := r.records[name]; ok {
+		return rec.id
+	}
+	return nil
+}
+
 // Lookup returns the current SMT-ticket for name, re-minting it if the
 // stored one expired (hourly rotation).
 func (r *Resolver) Lookup(name string) (*handshake.Ticket, error) {
+	t, _, err := r.Query(name)
+	return t, err
+}
+
+// Query is Lookup plus the hit/miss verdict: hit is false when the
+// stored ticket had expired and the returned one was minted fresh. A
+// ticket is valid through its Expiry instant (mirroring Ticket.Verify,
+// which rejects only now > Expiry), so a query at exactly Now() ==
+// Expiry is still a hit.
+func (r *Resolver) Query(name string) (*handshake.Ticket, bool, error) {
 	r.Lookups++
 	rec, ok := r.records[name]
 	if !ok {
-		return nil, fmt.Errorf("dcdns: no record for %q", name)
+		return nil, false, fmt.Errorf("dcdns: no record for %q", name)
 	}
 	if r.eng.Now() > rec.ticket.Expiry {
 		t, err := handshake.NewTicket(rec.id, r.eng.Now()+r.ttl)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		rec.ticket = t
+		r.Misses++
+		r.Rotations++
+		return rec.ticket, false, nil
 	}
 	r.Hits++
-	return rec.ticket, nil
+	return rec.ticket, true, nil
 }

@@ -50,4 +50,102 @@ func TestHourlyRotation(t *testing.T) {
 	if err := t2.Verify(&id.SigKey.PublicKey, eng.Now()); err != nil {
 		t.Fatal(err)
 	}
+	if r.Hits != 1 || r.Misses != 1 || r.Rotations != 1 {
+		t.Fatalf("re-mint accounting: hits=%d misses=%d rotations=%d, want 1/1/1",
+			r.Hits, r.Misses, r.Rotations)
+	}
+}
+
+// TestExpiryBoundary pins the boundary convention: a ticket is valid
+// through its Expiry instant — Query at Now() == Expiry is a hit and
+// Verify accepts it; one nanosecond later both flip.
+func TestExpiryBoundary(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ttl := sim.Time(3600) * sim.Second
+	r := New(eng, ttl)
+	id, _ := handshake.NewIdentity()
+	_ = r.Register("svc", id)
+
+	eng.RunUntil(ttl) // exactly Expiry
+	tk, hit, err := r.Query("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("query at Now() == Expiry must be a hit")
+	}
+	if err := tk.Verify(&id.SigKey.PublicKey, eng.Now()); err != nil {
+		t.Fatalf("Verify at Now() == Expiry: %v", err)
+	}
+
+	eng.RunUntil(ttl + 1) // one nanosecond past
+	if err := tk.Verify(&id.SigKey.PublicKey, eng.Now()); err == nil {
+		t.Fatal("Verify past Expiry must fail")
+	}
+	tk2, hit, err := r.Query("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("query past Expiry must be a miss")
+	}
+	if tk2.Expiry != eng.Now()+ttl {
+		t.Fatalf("re-minted expiry = %v, want %v", tk2.Expiry, eng.Now()+ttl)
+	}
+	if r.Lookups != 2 || r.Hits != 1 || r.Misses != 1 || r.Rotations != 1 {
+		t.Fatalf("accounting: lookups=%d hits=%d misses=%d rotations=%d",
+			r.Lookups, r.Hits, r.Misses, r.Rotations)
+	}
+}
+
+// TestMultiHourAccounting drives a simulated 6-hour run, querying every
+// 10 virtual minutes, against a shadow model of the hit/miss counters:
+// with hourly rotation, the first query in each hour after the first
+// lands past the stored expiry and must count as exactly one miss.
+func TestMultiHourAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ttl := sim.Time(3600) * sim.Second
+	r := New(eng, ttl)
+	id, _ := handshake.NewIdentity()
+	_ = r.Register("svc", id)
+
+	var wantHits, wantMisses uint64
+	expiry := ttl // shadow copy of the stored ticket's expiry
+	step := sim.Time(600) * sim.Second
+	for now := sim.Time(0); now <= 6*3600*sim.Second; now += step {
+		eng.RunUntil(now)
+		tk, hit, err := r.Query("svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHit := now <= expiry
+		if wantHit {
+			wantHits++
+		} else {
+			wantMisses++
+			expiry = now + ttl
+		}
+		if hit != wantHit {
+			t.Fatalf("t=%v: hit=%v, shadow model says %v", now, hit, wantHit)
+		}
+		if tk.Expiry != expiry {
+			t.Fatalf("t=%v: ticket expiry %v, want %v", now, tk.Expiry, expiry)
+		}
+		if err := tk.Verify(&id.SigKey.PublicKey, eng.Now()); err != nil {
+			t.Fatalf("t=%v: fresh ticket fails verify: %v", now, err)
+		}
+	}
+	if r.Hits != wantHits || r.Misses != wantMisses || r.Rotations != wantMisses {
+		t.Fatalf("6h accounting: hits=%d/%d misses=%d/%d rotations=%d/%d",
+			r.Hits, wantHits, r.Misses, wantMisses, r.Rotations, wantMisses)
+	}
+	// Re-minting lazily on the first miss makes the effective rotation
+	// period TTL + one probe interval (the new ticket's clock starts at
+	// the miss, not the old expiry): 4200 s here, so 5 misses in 6 h.
+	if wantMisses != 5 {
+		t.Fatalf("shadow model expects 5 lazy rotations in 6h, got %d", wantMisses)
+	}
+	if r.Lookups != wantHits+wantMisses {
+		t.Fatalf("lookups=%d, want %d", r.Lookups, wantHits+wantMisses)
+	}
 }

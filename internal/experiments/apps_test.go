@@ -193,7 +193,7 @@ func testFig12KeyExchange(t *testing.T) {
 	}
 	rows := make([]Fig12Row, len(modes))
 	ForEach(len(modes), 0, func(i int) {
-		rows[i] = MeasureKeyExchange(modes[i], 1024, 5)
+		rows[i], _ = MeasureKeyExchange(modes[i], 1024, 5)
 	})
 	init1, init0, init0fs, rsmp, rsmpFS := rows[0], rows[1], rows[2], rows[3], rows[4]
 	for _, r := range []Fig12Row{init1, init0, init0fs, rsmp, rsmpFS} {

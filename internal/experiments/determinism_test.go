@@ -86,10 +86,11 @@ func TestDeterministicArtifacts(t *testing.T) {
 
 // TestDeterminismCoverage pins that the experiments whose determinism
 // is least obvious — the fabric sweeps, the randomized open-loop load
-// sweep, and the fault-injecting chaos battery — are in the registry
-// TestDeterministicArtifacts walks.
+// sweep, the fault-injecting chaos battery, and the live-handshake
+// churn sweep (real ECDH key generation seeded from the engine RNG) —
+// are in the registry TestDeterministicArtifacts walks.
 func TestDeterminismCoverage(t *testing.T) {
-	for _, name := range []string{"incast", "multiclient", "loadsweep", "chaos"} {
+	for _, name := range []string{"incast", "multiclient", "loadsweep", "chaos", "churn"} {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("%s not registered; determinism battery no longer covers it", name)
 		}

@@ -32,7 +32,7 @@ type Fig12Row struct {
 // completion time — the §5.6 methodology. Key pre-generation and
 // short-chain verification are enabled for the SMT modes (§4.5.1); the
 // 1-RTT baseline is the stock handshake.
-func MeasureKeyExchange(mode handshake.Mode, size int, seed int64) Fig12Row {
+func MeasureKeyExchange(mode handshake.Mode, size int, seed int64) (Fig12Row, error) {
 	w := NewWorld(seed)
 	srv := core.NewSocket(w.Server, core.Config{Transport: homa.Config{Port: ServerPort}})
 	cli := core.NewSocket(w.Client, core.Config{})
@@ -54,29 +54,43 @@ func MeasureKeyExchange(mode handshake.Mode, size int, seed int64) Fig12Row {
 	// One-way flight time for a small handshake packet in this world.
 	oneWay := w.CM.PropDelay + w.CM.NICFixedDelay + w.CM.Serialize(200) + 2*sim.Microsecond
 
+	var xerr error
 	w.Eng.At(0, func() {
-		handshake.Exchange(w.Client, w.Server, oneWay, opts, func(res handshake.Result) {
+		err := handshake.Exchange(w.Client, w.Server, oneWay, opts, func(res handshake.Result) {
+			if res.Err != nil {
+				xerr = res.Err
+				return
+			}
 			if _, err := cli.RegisterSession(ServerAddr, ServerPort, res.Client); err != nil {
-				panic(err)
+				xerr = err
+				return
 			}
 			if _, err := srv.RegisterSession(ClientAddr, cli.Port(), res.Server); err != nil {
-				panic(err)
+				xerr = err
+				return
 			}
 			cli.Send(ServerAddr, ServerPort, rpc.Encode(1, uint32(size), size), 0)
 		})
+		if err != nil {
+			xerr = err
+		}
 	})
 	w.Eng.RunUntil(50 * sim.Millisecond)
-	return Fig12Row{Mode: mode.String(), Size: size, TimeUs: float64(doneAt) / 1e3}
+	return Fig12Row{Mode: mode.String(), Size: size, TimeUs: float64(doneAt) / 1e3}, xerr
 }
 
 // Fig12 reproduces Figure 12: key-exchange + first-RPC latency for the
 // five variants across RPC sizes.
-func Fig12() []Fig12Row {
+func Fig12() ([]Fig12Row, error) {
 	var rows []Fig12Row
 	for _, size := range Fig12Sizes {
 		for _, m := range Fig12Modes {
-			rows = append(rows, MeasureKeyExchange(m, size, 5000))
+			r, err := MeasureKeyExchange(m, size, 5000)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
 		}
 	}
-	return rows
+	return rows, nil
 }

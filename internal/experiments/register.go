@@ -253,7 +253,10 @@ func init() {
 					Seed:   5000,
 					Labels: Labels{"mode": m.String(), "size": itoa(size)},
 					Run: func() (Values, error) {
-						r := MeasureKeyExchange(m, size, 5000)
+						r, err := MeasureKeyExchange(m, size, 5000)
+						if err != nil {
+							return nil, err
+						}
 						return Values{"time_us": r.TimeUs}, nil
 					},
 				})
@@ -339,6 +342,36 @@ func init() {
 							return nil, err
 						}
 						return loadSweepValues(r), nil
+					},
+				})
+			}
+		}
+		return specs
+	})
+
+	register("churn", "live connection churn: dialed key exchanges at a swept arrival rate — setup latency, handshake CPU, dcdns ticket hit rate", func() []pointSpec {
+		var specs []pointSpec
+		for _, rate := range ChurnRates {
+			for _, pt := range churnPoints() {
+				rate, pt := rate, pt
+				key := fmt.Sprintf("sys=%s/rate=%d", pt.Spec.Name, int(rate))
+				if pt.Forced {
+					key += "/hs=" + pt.Policy.String()
+				}
+				specs = append(specs, pointSpec{
+					Key:  key,
+					Seed: ChurnSeed(rate),
+					Labels: Labels{
+						"system": pt.Spec.Name,
+						"rate":   fmt.Sprintf("%.0f", rate),
+						"hs":     pt.Policy.String(),
+					},
+					Run: func() (Values, error) {
+						r, err := MeasureChurn(pt.Spec, pt.Policy, rate, ChurnSeed(rate))
+						if err != nil {
+							return nil, err
+						}
+						return churnValues(r), nil
 					},
 				})
 			}

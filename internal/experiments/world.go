@@ -151,6 +151,13 @@ type FabricConfig struct {
 	MTU int
 	// NoTSO makes the stack cut packets in software (Fig. 11 ablation).
 	NoTSO bool
+	// Dialed establishes encrypted sessions by running a live 1-RTT
+	// key exchange over the fabric (dial.go) instead of installing
+	// pre-paired mirrored keys (core.PairSessions / ktls.ConnKeys).
+	// Off by default: the figure experiments measure steady state, so
+	// they pre-pair, exactly as the paper's harness pre-establishes
+	// connections before measuring.
+	Dialed bool
 }
 
 // FabricSystem is a System generalized to N hosts: Setup wires one echo
@@ -253,9 +260,12 @@ func smtFabric(name string, hw bool) FabricSystem {
 				HWOffload: hw,
 			})
 			// Each client pair gets its own session keys, as one TLS
-			// handshake per flow 5-tuple would produce (§4.2).
-			if err := core.PairSessions(cli, cli.Port(), srv, ServerPort, byte(11+ci)); err != nil {
-				return nil, fmt.Errorf("%s: pair sessions for client %d: %w", name, ci, err)
+			// handshake per flow 5-tuple would produce (§4.2). Dialed
+			// worlds derive them from a live exchange instead (below).
+			if !cfg.Dialed {
+				if err := core.PairSessions(cli, cli.Port(), srv, ServerPort, byte(11+ci)); err != nil {
+					return nil, fmt.Errorf("%s: pair sessions for client %d: %w", name, ci, err)
+				}
 			}
 			cli.OnMessage(func(d homa.Delivery) {
 				w.checkDelivery(d.Payload)
@@ -264,6 +274,11 @@ func smtFabric(name string, hw bool) FabricSystem {
 				}
 			})
 			clis[ci] = cli
+		}
+		if cfg.Dialed {
+			if err := dialSMTSessions(w, name, srv, server, clis, clients, cfg.MTU); err != nil {
+				return nil, err
+			}
 		}
 		srv.OnMessage(func(d homa.Delivery) {
 			w.checkDelivery(d.Payload)
@@ -300,8 +315,17 @@ func tcpFabricFamily(name string, rec *streamRecord) FabricSystem {
 		var encBuf []byte // world-scoped RPC scratch (see homaFabric)
 		tcfg := tcpsim.Config{MTU: cfg.MTU}
 		nextThread := 0
+		// Dialed worlds start every connection plaintext and install the
+		// negotiated codec when the live exchange completes (below); the
+		// default pre-paired path installs mirrored per-connection keys
+		// at accept/dial time.
+		dialed := cfg.Dialed && rec != nil
+		var srvConns map[hsKey]*tcpsim.Conn
+		if dialed {
+			srvConns = make(map[hsKey]*tcpsim.Conn)
+		}
 		var srvCodec func(peerAddr uint32, peerPort uint16) tcpsim.Codec
-		if rec != nil {
+		if rec != nil && !dialed {
 			srvCodec = func(peerAddr uint32, peerPort uint16) tcpsim.Codec {
 				_, sk := ktls.ConnKeys(rec.label, peerAddr, peerPort)
 				return rec.mustCodec(w.CM, sk)
@@ -312,6 +336,9 @@ func tcpFabricFamily(name string, rec *streamRecord) FabricSystem {
 			nextThread = (nextThread + 1) % AppThreads
 			return t
 		}, func(c *tcpsim.Conn) {
+			if dialed {
+				srvConns[hsKey{c.PeerAddr(), c.PeerPort()}] = c
+			}
 			c.OnMessage(func(m []byte) {
 				w.checkDelivery(m)
 				id, respSize, err := rpc.Decode(m)
@@ -330,7 +357,7 @@ func tcpFabricFamily(name string, rec *streamRecord) FabricSystem {
 			conns[ci] = make([]*tcpsim.Conn, cfg.StreamsPerClient)
 			for i := 0; i < cfg.StreamsPerClient; i++ {
 				var cliCodec func(localPort uint16) tcpsim.Codec
-				if rec != nil {
+				if rec != nil && !dialed {
 					addr := ch.Addr
 					cliCodec = func(localPort uint16) tcpsim.Codec {
 						ck, _ := ktls.ConnKeys(rec.label, addr, localPort)
@@ -349,6 +376,11 @@ func tcpFabricFamily(name string, rec *streamRecord) FabricSystem {
 		}
 		// Pre-establish all connections before measurement.
 		w.Eng.RunUntil(w.Eng.Now() + 5*sim.Millisecond)
+		if dialed {
+			if err := dialTCPSessions(w, name, rec, conns, srvConns, clients, server); err != nil {
+				return nil, err
+			}
+		}
 		return func(client, stream int, reqID uint64, size, respSize int) {
 			encBuf = rpc.AppendEncode(encBuf, reqID, uint32(respSize), size)
 			conns[client][stream].SendMessage(encBuf)

@@ -18,6 +18,8 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"fmt"
+	"io"
+	"math/big"
 
 	"smt/internal/core"
 	"smt/internal/hkdfx"
@@ -145,18 +147,64 @@ type Identity struct {
 	CertRaw []byte            // placeholder certificate bytes (hash-signed)
 }
 
-// NewIdentity generates server credentials.
-func NewIdentity() (*Identity, error) {
-	sig, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
-	if err != nil {
-		return nil, fmt.Errorf("handshake: sig key: %w", err)
-	}
-	dh, err := ecdh.P256().GenerateKey(rand.Reader)
+// NewIdentity generates server credentials from crypto/rand.
+func NewIdentity() (*Identity, error) { return NewIdentityRand(rand.Reader) }
+
+// NewIdentityRand generates server credentials with key material drawn
+// from r. Simulated worlds pass the engine's seeded RNG so identities
+// — and everything derived from them — replay identically for a given
+// seed; NewIdentity passes crypto/rand.
+func NewIdentityRand(r io.Reader) (*Identity, error) {
+	dh, err := genECDHKey(r)
 	if err != nil {
 		return nil, fmt.Errorf("handshake: dh key: %w", err)
 	}
+	sigDH, err := genECDHKey(r)
+	if err != nil {
+		return nil, fmt.Errorf("handshake: sig key: %w", err)
+	}
+	sig, err := ecdsaFromECDH(sigDH)
+	if err != nil {
+		return nil, fmt.Errorf("handshake: sig key: %w", err)
+	}
 	cert := sha256.Sum256(append([]byte("smt-cert:"), dh.PublicKey().Bytes()...))
 	return &Identity{SigKey: sig, LongDH: dh, CertRaw: cert[:]}, nil
+}
+
+// genECDHKey draws a P-256 private key from r. The stdlib's
+// GenerateKey may consume reader bytes in version-dependent ways (and
+// ignores custom readers entirely in FIPS mode), so for reproducibility
+// the scalar is read directly and rejection-sampled: NewPrivateKey
+// rejects the ≈2⁻³² fraction of 32-byte strings outside the group
+// order, in which case the next draw is tried.
+func genECDHKey(r io.Reader) (*ecdh.PrivateKey, error) {
+	buf := make([]byte, 32)
+	for i := 0; i < 128; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("handshake: key material: %w", err)
+		}
+		if k, err := ecdh.P256().NewPrivateKey(buf); err == nil {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("handshake: no valid P-256 scalar after 128 draws")
+}
+
+// ecdsaFromECDH views a P-256 ECDH private key as an ECDSA signing key
+// (same curve, same scalar); the uncompressed public point is 0x04‖X‖Y.
+func ecdsaFromECDH(k *ecdh.PrivateKey) (*ecdsa.PrivateKey, error) {
+	pub := k.PublicKey().Bytes()
+	if len(pub) != 65 || pub[0] != 4 {
+		return nil, fmt.Errorf("handshake: unexpected public point encoding")
+	}
+	return &ecdsa.PrivateKey{
+		PublicKey: ecdsa.PublicKey{
+			Curve: elliptic.P256(),
+			X:     new(big.Int).SetBytes(pub[1:33]),
+			Y:     new(big.Int).SetBytes(pub[33:65]),
+		},
+		D: new(big.Int).SetBytes(k.Bytes()),
+	}, nil
 }
 
 // Ticket is the SMT-ticket distributed through the datacenter DNS
@@ -212,4 +260,13 @@ func DeriveKeys(secret, transcript []byte) (client core.SessionKeys, server core
 	client = core.SessionKeys{TxKey: ck, TxIV: civ, RxKey: sk, RxIV: siv}
 	server = core.SessionKeys{TxKey: sk, TxIV: siv, RxKey: ck, RxIV: civ}
 	return
+}
+
+// ResumptionMaster derives a session's resumption master secret (the
+// TLS 1.3 resumption_master_secret analog) from the exchange's shared
+// secret and transcript. A later Rsmp/RsmpFS exchange feeds it back as
+// Options.PriorSecret; each resumed connection then expands it with a
+// fresh nonce into a per-connection PSK.
+func ResumptionMaster(secret, transcript []byte) []byte {
+	return hkdfx.DeriveSecret(hkdfx.Extract(nil, secret), "res master", transcript)
 }

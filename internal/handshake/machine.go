@@ -1,13 +1,49 @@
 package handshake
 
 import (
-	"crypto/ecdh"
-	"crypto/rand"
+	"bytes"
+	"fmt"
+	"io"
 
 	"smt/internal/core"
 	"smt/internal/cpusim"
+	"smt/internal/hkdfx"
 	"smt/internal/sim"
 )
+
+// Wire sizes of the two handshake flights, used when an exchange runs
+// over a packet conduit (the experiments' dialed connections). CHLO
+// carries the client random, share and extensions; the full SHLO adds
+// the certificate chain and CertVerify, while the 0-RTT/resumption
+// SHLO is certificate-free.
+const (
+	FlightCHLO      = 320
+	FlightSHLOCert  = 2368
+	FlightSHLOShort = 192
+)
+
+// Conduit carries handshake flights between the two endpoints of an
+// exchange. deliver must run as an engine event once the flight has
+// fully arrived. Exchange uses a fixed one-way latency; the
+// experiments' dial path sends flights as real wire.TypeHandshake
+// packets through the simulated fabric, so flights pay serialization,
+// queueing and softirq like any other traffic.
+type Conduit interface {
+	// ToServer carries a size-byte client flight to the server.
+	ToServer(size int, deliver func())
+	// ToClient carries a size-byte server flight to the client.
+	ToClient(size int, deliver func())
+}
+
+// latencyConduit models each flight as one small-packet one-way
+// latency, independent of size — the Fig. 12 microbenchmark setting.
+type latencyConduit struct {
+	eng    *sim.Engine
+	oneWay sim.Time
+}
+
+func (c latencyConduit) ToServer(_ int, deliver func()) { c.eng.After(c.oneWay, deliver) }
+func (c latencyConduit) ToClient(_ int, deliver func()) { c.eng.After(c.oneWay, deliver) }
 
 // Options tune a simulated exchange (§4.5.1 optimizations).
 type Options struct {
@@ -19,16 +55,45 @@ type Options struct {
 	ShortChain bool
 	// RSA switches the signature rows to 2048-bit RSA costs.
 	RSA bool
+
+	// ServerID is the server's long-term identity. nil generates a
+	// throwaway identity from the engine RNG (the microbenchmark
+	// setting); dialed connections pass the identity the dcdns
+	// resolver advertises so every exchange against one server derives
+	// from the same long-term share.
+	ServerID *Identity
+	// Ticket supplies the client's out-of-band SMT-ticket for the
+	// 0-RTT modes. Its ServerDH share must match ServerID.
+	Ticket *Ticket
+	// PriorSecret is the prior session's resumption master secret
+	// (Result.Master) for Rsmp/RsmpFS. nil draws a fresh random PSK —
+	// either way each resumed connection gets unique keys.
+	PriorSecret []byte
+
+	// CliThread/SrvThread pick the app thread the Table 2 costs are
+	// charged on at each host (default 0). Connection churn spreads
+	// concurrent handshakes across threads like a real accept loop.
+	CliThread int
+	SrvThread int
 }
 
 // Result reports a completed simulated exchange.
 type Result struct {
-	// Done is the virtual time from start until both sides hold keys
-	// and the client's first RPC response arrived (Fig. 12's y-axis).
+	// Done is the virtual time at which both sides hold keys and the
+	// client finished its last compute step (Fig. 12's y-axis start).
 	Done sim.Time
+	// Err is non-nil if the exchange failed after Exchange returned
+	// (crypto failure mid-flight); the key fields are then empty.
+	Err error
 	// Client/Server are the derived session keys.
 	Client core.SessionKeys
 	Server core.SessionKeys
+	// Master is the resumption master secret: feed it back as
+	// Options.PriorSecret to resume this session later.
+	Master []byte
+	// CliCPU/SrvCPU are the Table 2 CPU totals charged at each host.
+	CliCPU sim.Time
+	SrvCPU sim.Time
 }
 
 // opCost returns the charged duration for op under opts.
@@ -56,37 +121,81 @@ func opCost(op Op, opts Options) sim.Time {
 }
 
 // Exchange runs the selected key-exchange variant between client and
-// server hosts in virtual time, performing the real ECDH/HKDF crypto and
-// charging Table 2 costs on the hosts' app cores. done receives the
-// result when the client holds verified keys (after its last
-// compute step plus the needed network flights).
+// server hosts in virtual time, performing the real ECDH/HKDF crypto
+// and charging Table 2 costs on the hosts' app cores. done receives
+// the result when the client holds verified keys (after its last
+// compute step plus the needed network flights). Errors in synchronous
+// setup (key generation, a ticket/identity mismatch) are returned;
+// failures mid-exchange arrive as Result.Err.
 //
-// The message flights ride the transport's handshake packets in spirit;
-// for timing we model each flight as one small-packet one-way latency
-// (oneWay), which the caller measures for its configuration.
-func Exchange(cliHost, srvHost *cpusim.Host, oneWay sim.Time, opts Options, done func(Result)) {
+// The message flights ride the transport's handshake packets in
+// spirit; for timing each flight is one small-packet one-way latency
+// (oneWay), which the caller measures for its configuration. Dialed
+// connections use ExchangeOver with a packet conduit instead.
+func Exchange(cliHost, srvHost *cpusim.Host, oneWay sim.Time, opts Options, done func(Result)) error {
+	return ExchangeOver(latencyConduit{eng: cliHost.Eng, oneWay: oneWay}, cliHost, srvHost, opts, done)
+}
+
+// ExchangeOver is Exchange with the flights carried by an explicit
+// Conduit. All key material is drawn from the client host's engine RNG,
+// so a given (seed, call sequence) reproduces the same keys — the
+// serial-vs-parallel determinism contract every artifact obeys.
+func ExchangeOver(conduit Conduit, cliHost, srvHost *cpusim.Host, opts Options, done func(Result)) error {
 	eng := cliHost.Eng
+	rng := eng.Rand()
 
-	// Real key material: ephemeral shares each side.
-	cliEph, err := ecdh.P256().GenerateKey(rand.Reader)
+	// Draw all key material up front: ephemeral shares for each side,
+	// the server identity when the caller didn't pin one, and the
+	// per-connection resumption PSK.
+	cliEph, err := genECDHKey(rng)
 	if err != nil {
-		panic(err)
+		return fmt.Errorf("handshake: client ephemeral: %w", err)
 	}
-	srvEph, err := ecdh.P256().GenerateKey(rand.Reader)
+	srvEph, err := genECDHKey(rng)
 	if err != nil {
-		panic(err)
+		return fmt.Errorf("handshake: server ephemeral: %w", err)
 	}
-	srvID, err := NewIdentity()
-	if err != nil {
-		panic(err)
+	srvID := opts.ServerID
+	if srvID == nil {
+		if srvID, err = NewIdentityRand(rng); err != nil {
+			return err
+		}
+	}
+	if opts.Ticket != nil && !bytes.Equal(opts.Ticket.ServerDH, srvID.LongDH.PublicKey().Bytes()) {
+		return fmt.Errorf("handshake: ticket share does not match server identity")
+	}
+	var psk []byte
+	if opts.Mode == Rsmp || opts.Mode == RsmpFS {
+		nonce := make([]byte, 16)
+		if _, err := io.ReadFull(rng, nonce); err != nil {
+			return fmt.Errorf("handshake: resumption nonce: %w", err)
+		}
+		if opts.PriorSecret != nil {
+			// Per-connection PSK: the prior session's master secret
+			// expanded with a fresh nonce, so no two resumed
+			// connections ever share keys (the audit's cross-flow
+			// keystream-uniqueness invariant watches for this).
+			psk = hkdfx.ExpandLabel(opts.PriorSecret, "resumption", nonce, 32)
+		} else {
+			psk = make([]byte, 32)
+			if _, err := io.ReadFull(rng, psk); err != nil {
+				return fmt.Errorf("handshake: resumption psk: %w", err)
+			}
+		}
 	}
 
-	deliver := func(after sim.Time, fn func()) { eng.After(after, fn) }
+	var cliCPU, srvCPU sim.Time
 
-	finish := func(secret []byte, transcript string, extra sim.Time) {
+	fail := func(err error) {
+		done(Result{Done: eng.Now(), Err: err, CliCPU: cliCPU, SrvCPU: srvCPU})
+	}
+	finish := func(secret []byte, transcript string) {
 		ck, sk := DeriveKeys(secret, []byte(transcript))
-		deliver(extra, func() {
-			done(Result{Done: eng.Now(), Client: ck, Server: sk})
+		done(Result{
+			Done:   eng.Now(),
+			Client: ck, Server: sk,
+			Master: ResumptionMaster(secret, []byte(transcript)),
+			CliCPU: cliCPU, SrvCPU: srvCPU,
 		})
 	}
 
@@ -95,14 +204,16 @@ func Exchange(cliHost, srvHost *cpusim.Host, oneWay sim.Time, opts Options, done
 		for _, op := range ops {
 			total += opCost(op, opts)
 		}
-		cliHost.RunApp(0, total, fn)
+		cliCPU += total
+		cliHost.RunApp(opts.CliThread, total, fn)
 	}
 	chargeSrv := func(ops []Op, fn func()) {
 		var total sim.Time
 		for _, op := range ops {
 			total += opCost(op, opts)
 		}
-		srvHost.RunApp(0, total, fn)
+		srvCPU += total
+		srvHost.RunApp(opts.SrvThread, total, fn)
 	}
 
 	switch opts.Mode {
@@ -112,15 +223,16 @@ func Exchange(cliHost, srvHost *cpusim.Host, oneWay sim.Time, opts Options, done
 		// verification; Fig. 12 counts handshake completion at the
 		// client (its Finished can accompany first data).
 		chargeCli([]Op{C1p1KeyGen, C1p2OthersGen}, func() {
-			deliver(oneWay, func() { // CHLO flight
+			conduit.ToServer(FlightCHLO, func() {
 				chargeSrv([]Op{S1ProcessCHLO, S2p1KeyGen, S2p2ECDH, S2p3SHLOGen, S2p4EECertEncode, S2p5CertVerifyGen, S2p6SecretDerive}, func() {
-					deliver(oneWay, func() { // SHLO flight
+					conduit.ToClient(FlightSHLOCert, func() {
 						chargeCli([]Op{C2p1ProcessSHLO, C2p2ECDH, C2p3SecretDerive, C3p1DecodeCert, C3p2VerifyCert, C4p1BuildSignData, C4p2VerifyCertVerify, C5ProcessFinished}, func() {
 							secret, err := cliEph.ECDH(srvEph.PublicKey())
 							if err != nil {
-								panic(err)
+								fail(fmt.Errorf("handshake: 1-rtt ecdh: %w", err))
+								return
 							}
-							finish(secret, "init-1rtt", 0)
+							finish(secret, "init-1rtt")
 						})
 					})
 				})
@@ -134,9 +246,10 @@ func Exchange(cliHost, srvHost *cpusim.Host, oneWay sim.Time, opts Options, done
 		chargeCli([]Op{C1p2OthersGen, C2p2ECDH, C2p3SecretDerive}, func() {
 			smtSecret, err := cliEph.ECDH(srvID.LongDH.PublicKey())
 			if err != nil {
-				panic(err)
+				fail(fmt.Errorf("handshake: smt-key ecdh: %w", err))
+				return
 			}
-			deliver(oneWay, func() { // CHLO + 0-RTT data flight
+			conduit.ToServer(FlightCHLO, func() { // CHLO + 0-RTT data flight
 				if opts.Mode == Init0RTT {
 					// Server derives the SMT-key (its own ECDH against
 					// the client's ephemeral plus the extra application
@@ -145,9 +258,9 @@ func Exchange(cliHost, srvHost *cpusim.Host, oneWay sim.Time, opts Options, done
 					// exchange; the client confirms via the server's
 					// Finished.
 					chargeSrv([]Op{S1ProcessCHLO, S2p2ECDH, S2p3SHLOGen, S2p6SecretDerive, S2p6SecretDerive, S3ProcessFinished}, func() {
-						deliver(oneWay, func() {
+						conduit.ToClient(FlightSHLOShort, func() {
 							chargeCli([]Op{C2p1ProcessSHLO, C2p3SecretDerive, C5ProcessFinished}, func() {
-								finish(smtSecret, "smt-ticket", 0)
+								finish(smtSecret, "smt-ticket")
 							})
 						})
 					})
@@ -157,13 +270,14 @@ func Exchange(cliHost, srvHost *cpusim.Host, oneWay sim.Time, opts Options, done
 				// ephemeral share; both sides derive the fs-key
 				// (extra S2.2-class and C2.2-class exchanges).
 				chargeSrv([]Op{S1ProcessCHLO, S2p2ECDH, S2p6SecretDerive, S2p2ECDH, S2p3SHLOGen}, func() {
-					deliver(oneWay, func() {
+					conduit.ToClient(FlightSHLOShort, func() {
 						chargeCli([]Op{C2p1ProcessSHLO, C2p2ECDH, C2p3SecretDerive}, func() {
 							fsSecret, err := cliEph.ECDH(srvEph.PublicKey())
 							if err != nil {
-								panic(err)
+								fail(fmt.Errorf("handshake: fs ecdh: %w", err))
+								return
 							}
-							finish(fsSecret, "smt-ticket-fs", 0)
+							finish(fsSecret, "smt-ticket-fs")
 						})
 					})
 				})
@@ -174,15 +288,14 @@ func Exchange(cliHost, srvHost *cpusim.Host, oneWay sim.Time, opts Options, done
 		// PSK resumption: no certificate processing; keys pre-generated
 		// at both ends (§5.6). RsmpFS adds a fresh ECDHE (psk_dhe_ke):
 		// the S2.2 + C2.2 pair, ≈354 µs — the margin the paper reports.
-		psk := []byte("resumption-psk-from-prior-session")
 		chargeCli([]Op{C1p2OthersGen}, func() {
-			deliver(oneWay, func() {
+			conduit.ToServer(FlightCHLO, func() {
 				srvOps := []Op{S1ProcessCHLO, S2p3SHLOGen, S2p6SecretDerive}
 				if opts.Mode == RsmpFS {
 					srvOps = append(srvOps, S2p2ECDH)
 				}
 				chargeSrv(srvOps, func() {
-					deliver(oneWay, func() {
+					conduit.ToClient(FlightSHLOShort, func() {
 						cliOps := []Op{C2p1ProcessSHLO, C2p3SecretDerive, C5ProcessFinished}
 						if opts.Mode == RsmpFS {
 							cliOps = append(cliOps, C2p2ECDH)
@@ -192,15 +305,20 @@ func Exchange(cliHost, srvHost *cpusim.Host, oneWay sim.Time, opts Options, done
 							if opts.Mode == RsmpFS {
 								s, err := cliEph.ECDH(srvEph.PublicKey())
 								if err != nil {
-									panic(err)
+									fail(fmt.Errorf("handshake: psk_dhe ecdh: %w", err))
+									return
 								}
 								secret = append(secret, s...)
 							}
-							finish(secret, "resumption", 0)
+							finish(secret, "resumption")
 						})
 					})
 				})
 			})
 		})
+
+	default:
+		return fmt.Errorf("handshake: unknown mode %d", opts.Mode)
 	}
+	return nil
 }

@@ -108,6 +108,7 @@ type Conn struct {
 
 	onMessage   func([]byte)
 	onError     func(error)
+	onHandshake func([]byte)
 	established func(*Conn)
 	closed      bool
 
@@ -191,6 +192,53 @@ func (c *Conn) SendMessage(msg []byte) {
 // OnMessage registers the reassembled-message callback.
 func (c *Conn) OnMessage(fn func([]byte)) { c.onMessage = fn }
 
+// OnHandshake registers the receiver for handshake-flight packets
+// (TypeHandshake Aux=3). fn sees each packet's payload bytes, valid
+// only for the duration of the call.
+func (c *Conn) OnHandshake(fn func(payload []byte)) { c.onHandshake = fn }
+
+// SetCodec installs the connection's record codec — the "switch the
+// established connection to the negotiated keys" step a live handshake
+// performs (the setsockopt(TLS_TX/TLS_RX) analog for kTLS). It must
+// run before any stream data flows in either direction: the record
+// layer has no re-keying mid-stream, so replacing the codec once
+// ciphertext is in flight desynchronizes both ends by design.
+func (c *Conn) SetCodec(codec Codec) {
+	if codec == nil {
+		panic("tcpsim: SetCodec(nil)")
+	}
+	c.codec = codec
+}
+
+// SendHandshake transmits one opaque handshake flight on the
+// connection as TypeHandshake packets (Aux=3 — distinct from the
+// SYN/SYN-ACK control pair), cut at the MTU in software. The key
+// exchange uses it before the connection's codec exists; flights
+// bypass the stream's sequence space and reliability machinery (dialed
+// worlds handshake over a fault-free fabric). payload must stay
+// immutable until the softirq send fires.
+func (c *Conn) SendHandshake(payload []byte) {
+	cm := c.host.CM
+	c.host.RunSoftirq(c.core, cm.TCPTxSegment, func() {
+		per := c.cfg.MTU - wire.IPv4HeaderLen - wire.OverlayHeaderLen
+		for off := 0; off < len(payload); off += per {
+			end := off + per
+			if end > len(payload) {
+				end = len(payload)
+			}
+			pkt := c.host.NIC.AcquirePacket()
+			pkt.IP = wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: c.host.Addr, Dst: c.peerAddr}
+			pkt.Overlay = wire.OverlayHeader{
+				SrcPort: c.localPort, DstPort: c.peerPort,
+				Type: wire.TypeHandshake, Aux: 3,
+				MsgLen: uint32(len(payload)),
+			}
+			pkt.SetPayload(payload[off:end])
+			c.host.NIC.SendSegment(c.host.SoftirqQueue(c.core), &nicsim.TxSegment{Pkt: pkt, MTU: c.cfg.MTU, NoTSO: true})
+		}
+	})
+}
+
 // OnError registers the fatal-error callback (TLS alert equivalent).
 func (c *Conn) OnError(fn func(error)) { c.onError = fn }
 
@@ -199,6 +247,13 @@ func (c *Conn) AppThread() int { return c.appThread }
 
 // LocalPort reports the local port.
 func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// PeerAddr reports the remote address (on an accepted connection, the
+// dialing client — the half of the 4-tuple dialed worlds demux on).
+func (c *Conn) PeerAddr() uint32 { return c.peerAddr }
+
+// PeerPort reports the remote port.
+func (c *Conn) PeerPort() uint16 { return c.peerPort }
 
 // trySend transmits queued chunks within the window as TSO segments of
 // whole chunks (records never straddle segments, the kTLS-hw layout).

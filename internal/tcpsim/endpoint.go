@@ -195,6 +195,10 @@ func (e *Endpoint) HandlePacket(pkt *wire.Packet, core int) {
 				c.established = nil
 				cb(c)
 			}
+		case 3: // handshake flight (key exchange over the established conn)
+			if c != nil && c.onHandshake != nil {
+				c.onHandshake(pkt.Payload)
+			}
 		}
 	case wire.TypeData:
 		if c != nil {
