@@ -111,7 +111,7 @@ func BenchmarkFig7Throughput(b *testing.B) {
 func BenchmarkFig8Redis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, v := range []int{64, 1024, 4096} {
-			for _, sys := range experiments.Fig8Systems() {
+			for _, sys := range must(experiments.Fig8Systems()) {
 				r := must(experiments.MeasureRedis(sys, ycsb.WorkloadB, v, 64, 99))
 				if i == 0 {
 					b.Logf("%-8s YCSB-B v=%4d: %.0f ops/s", r.System, r.Value, r.OpsPerSec)

@@ -19,7 +19,12 @@ func main() {
 		clients   = 64
 	)
 	fmt.Printf("YCSB-B, %d B values, %d closed-loop clients:\n\n", valueSize, clients)
-	for _, sys := range experiments.Fig8Systems() {
+	systems, err := experiments.Fig8Systems()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvcache:", err)
+		os.Exit(1)
+	}
+	for _, sys := range systems {
 		r, err := experiments.MeasureRedis(sys, ycsb.WorkloadB, valueSize, clients, 2024)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kvcache:", err)

@@ -1,6 +1,10 @@
 package audit
 
-import "smt/internal/wire"
+import (
+	"sort"
+
+	"smt/internal/wire"
+)
 
 // Record-boundary trackers: reassemble each flow's record stream from
 // whatever packet segmentation, reordering, and duplication the network
@@ -198,23 +202,34 @@ func (t *streamTracker) add(a *Auditor, f wire.Flow, off uint32, payload []byte,
 		t.ahead += len(payload)
 		return
 	}
-	// Drain pending pieces that are now contiguous (or stale).
+	// Drain pending pieces that are now contiguous (or stale), lowest
+	// offset first. Offset order matters: when held pieces overlap, the
+	// piece that extends the stream decides which bytes land in buf, so
+	// draining in map order would make the reassembled bytes (and the
+	// overlap-conflict counts) run-dependent.
 	for {
 		advanced := false
 		cur = t.cursor()
-		for o, p := range t.pending {
+		ready := make([]uint32, 0, len(t.pending))
+		//smt:allow determinism -- offsets are sorted before use; iteration order never escapes
+		for o := range t.pending {
 			if o <= cur {
-				delete(t.pending, o)
-				t.ahead -= len(p)
-				back := cur - o
-				if back < uint32(len(p)) {
-					t.compareOverlap(a, o, p[:back])
-					t.buf = append(t.buf, p[back:]...)
-					advanced = true
-					break // cursor moved; rescan
-				}
-				t.compareOverlap(a, o, p)
+				ready = append(ready, o)
 			}
+		}
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		for _, o := range ready {
+			p := t.pending[o]
+			delete(t.pending, o)
+			t.ahead -= len(p)
+			back := cur - o
+			if back < uint32(len(p)) {
+				t.compareOverlap(a, o, p[:back])
+				t.buf = append(t.buf, p[back:]...)
+				advanced = true
+				break // cursor moved; rescan
+			}
+			t.compareOverlap(a, o, p)
 		}
 		if !advanced {
 			break

@@ -217,6 +217,7 @@ func (c *Codec) Encode(msgID uint64, msg []byte, off, n, queue int, retransmit b
 		seq, err := c.alloc.Compose(msgID, recIdx)
 		if err != nil {
 			// Socket.Send validates sizes; reaching this is a bug.
+			//smt:allow panic -- sizes were validated by Socket.Send; overflow here means corrupted codec state
 			panic(fmt.Sprintf("core: sequence overflow: %v", err))
 		}
 		binary.BigEndian.PutUint32(payload[pos:], uint32(p)) // framing header
@@ -229,9 +230,11 @@ func (c *Codec) Encode(msgID uint64, msg []byte, off, n, queue int, retransmit b
 		} else {
 			sealed, err := c.tx.SealRecord(payload[:hdrOff], seq, wire.RecordTypeApplicationData, plain, pad)
 			if err != nil {
+				//smt:allow panic -- sealing with session keys over validated sizes cannot fail; an error means corrupted key state
 				panic(fmt.Sprintf("core: seal: %v", err))
 			}
 			if len(sealed) != hdrOff+recLen {
+				//smt:allow panic -- record layout arithmetic broke; continuing would emit unparseable wire bytes
 				panic("core: record length mismatch")
 			}
 			cpu += c.cm.CryptoSW(recLen)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"smt/internal/cpusim"
 	"smt/internal/homa"
@@ -48,6 +49,7 @@ func (unregistered) AcceptMessage(uint64) error {
 	return fmt.Errorf("core: no session registered for peer")
 }
 func (unregistered) Encode(uint64, []byte, int, int, int, bool) (*homa.Segment, sim.Time) {
+	//smt:allow panic -- harness wiring bug: a session must be paired or handshaken before Send
 	panic("core: Send before RegisterSession")
 }
 func (unregistered) Decode(uint64, int, int, []byte) ([]byte, sim.Time, error) {
@@ -87,20 +89,30 @@ func (s *Socket) RegisterSession(peerAddr uint32, peerPort uint16, keys SessionK
 func (s *Socket) Send(dstAddr uint32, dstPort uint16, payload []byte, appThread int) uint64 {
 	codec, ok := s.Socket.Peer(dstAddr, dstPort).(*Codec)
 	if !ok {
+		//smt:allow panic -- harness wiring bug: a session must be paired or handshaken before Send
 		panic("core: Send before RegisterSession")
 	}
 	if len(payload) > codec.MaxMessageSize() {
+		//smt:allow panic -- exceeding the sequence-allocation limit would silently wrap record numbers; fail at the misuse site
 		panic(fmt.Sprintf("core: message %d B exceeds allocation limit %d B",
 			len(payload), codec.MaxMessageSize()))
 	}
 	return s.Socket.Send(dstAddr, dstPort, payload, appThread)
 }
 
-// Codecs returns the registered session codecs (stats inspection).
+// Codecs returns the registered session codecs in session-base order
+// (stats inspection; callers index into the result, so the order must
+// not depend on map iteration).
 func (s *Socket) Codecs() []*Codec {
-	out := make([]*Codec, 0, len(s.sessions))
-	for _, c := range s.sessions {
-		out = append(out, c)
+	bases := make([]uint64, 0, len(s.sessions))
+	//smt:allow determinism -- keys are sorted before use; iteration order never escapes
+	for b := range s.sessions {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	out := make([]*Codec, 0, len(bases))
+	for _, b := range bases {
+		out = append(out, s.sessions[b])
 	}
 	return out
 }

@@ -93,6 +93,7 @@ func (d *dispatchEvent) Run() {
 // of a Linux host.
 func NewHost(eng *sim.Engine, cm *cost.Model, net *netsim.Network, addr uint32, nSoftirq, nApp int) *Host {
 	if nSoftirq < 1 || nApp < 1 {
+		//smt:allow panic -- construction-time topology contract; a coreless host is a harness bug, not a runtime condition
 		panic("cpusim: need at least one softirq and one app core")
 	}
 	h := &Host{
@@ -124,6 +125,7 @@ func (h *Host) SoftirqQueue(c int) int { return len(h.App) + c%len(h.Softirq) }
 func (h *Host) Bind(proto uint8, port uint16, hd Handler) {
 	k := bindKey{proto, port}
 	if _, dup := h.handlers[k]; dup {
+		//smt:allow panic -- wiring-time bind conflict; silently replacing a handler would misroute packets between stacks
 		panic(fmt.Sprintf("cpusim: port %d/%d already bound", proto, port))
 	}
 	h.handlers[k] = hd

@@ -15,12 +15,12 @@ import (
 // Runs under TestExperiments; all (system, value) cells fan out at once.
 func testFig8Shape(t *testing.T) {
 	values := []int{64, 1024, 4096}
-	nsys := len(Fig8Systems())
+	nsys := len(must(Fig8Systems()))
 	rows := make([]Fig8Row, len(values)*nsys)
 	ForEach(len(rows), 0, func(i int) {
 		// Fig8Systems is rebuilt per point: redisSystem carries
 		// per-setup socket state and must not be shared.
-		rows[i] = must(MeasureRedis(Fig8Systems()[i%nsys], ycsb.WorkloadB, values[i/nsys], 64, 99))
+		rows[i] = must(MeasureRedis(must(Fig8Systems())[i%nsys], ycsb.WorkloadB, values[i/nsys], 64, 99))
 	})
 	get := func(valueSize int) map[string]float64 {
 		out := map[string]float64{}

@@ -238,17 +238,17 @@ func buildRedis(spec StackSpec) (redisSystem, error) {
 
 // Fig8Systems is the §5.3 lineup (RedisLineup: TCP, user-space TLS,
 // kTLS-sw/hw, Homa, SMT-sw/hw) built for the Redis harness.
-func Fig8Systems() []redisSystem {
+func Fig8Systems() ([]redisSystem, error) {
 	lineup := RedisLineup()
 	systems := make([]redisSystem, len(lineup))
 	for i, spec := range lineup {
 		sys, err := BuildRedis(spec)
 		if err != nil {
-			panic("experiments: " + err.Error())
+			return nil, fmt.Errorf("experiments: %w", err)
 		}
 		systems[i] = sys
 	}
-	return systems
+	return systems, nil
 }
 
 // MeasureRedis runs one (system, workload, value size) cell of Figure 8.
@@ -286,10 +286,14 @@ func MeasureRedis(sys redisSystem, w8 ycsb.Workload, valueSize, streams int, see
 
 // Fig8 reproduces Figure 8: YCSB A–E × value sizes 64 B / 1 KB / 4 KB.
 func Fig8() ([]Fig8Row, error) {
+	systems, err := Fig8Systems()
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig8Row
 	for _, v := range Fig8Values {
 		for _, wl := range Fig8Workloads {
-			for _, sys := range Fig8Systems() {
+			for _, sys := range systems {
 				r, err := MeasureRedis(sys, wl, v, 64, 333)
 				if err != nil {
 					return nil, err

@@ -149,10 +149,13 @@ func MeasureLoadSweep(sys FabricSystem, load float64, seed int64) (LoadSweepRow,
 		return LoadSweepRow{}, err
 	}
 	rate := load * w.CM.LinkGbps * 1e9 / 8 / dist.Mean() // messages/second
-	gen = workload.NewOpenLoop(w.Eng, dist, len(cl), LoadSweepStreams, rate,
+	gen, err = workload.NewOpenLoop(w.Eng, dist, len(cl), LoadSweepStreams, rate,
 		func(client, stream int, reqID uint64, size int) {
 			issue(client, stream, reqID, size, rpc.MinSize)
 		})
+	if err != nil {
+		return LoadSweepRow{}, err
+	}
 	gen.Ideal = ideal
 
 	start := w.Eng.Now()

@@ -112,6 +112,7 @@ func (e *specExperiment) Run(p Point) Result {
 		return res
 	}
 	res.Key, res.Seed, res.Labels = s.Key, s.Seed, s.Labels
+	//smt:allow determinism -- wall-clock elapsed time is runner metadata, never part of the measured artifact
 	start := time.Now()
 	func() {
 		defer func() {
@@ -125,6 +126,7 @@ func (e *specExperiment) Run(p Point) Result {
 			res.Err = err.Error()
 		}
 	}()
+	//smt:allow determinism -- wall-clock elapsed time is runner metadata, never part of the measured artifact
 	res.ElapsedMs = float64(time.Since(start)) / 1e6
 	return res
 }
@@ -139,11 +141,13 @@ var (
 func Register(e Experiment) {
 	name := e.Name()
 	if name == "" {
+		//smt:allow panic -- init-time registration contract; a nameless experiment can never be looked up
 		panic("experiments: Register with empty name")
 	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := registry[name]; dup {
+		//smt:allow panic -- init-time registration contract; a duplicate would silently shadow an experiment
 		panic("experiments: duplicate Register of " + name)
 	}
 	registry[name] = e
@@ -167,6 +171,7 @@ func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	names := make([]string, 0, len(registry))
+	//smt:allow determinism -- names are sorted before use; iteration order never escapes
 	for n := range registry {
 		names = append(names, n)
 	}

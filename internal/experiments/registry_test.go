@@ -98,7 +98,7 @@ func TestRegistryPointCounts(t *testing.T) {
 		"fig7":        len(Fig7Sizes) * len(Fig7Concurrency) * len(Fig6Systems()),
 		"fig7mtu":     len(Fig7MTUConcurrency) * len(Fig7MTUs) * 2,
 		"cpuusage":    len(CPUUsageSystems()),
-		"fig8":        len(Fig8Values) * len(Fig8Workloads) * len(Fig8Systems()),
+		"fig8":        len(Fig8Values) * len(Fig8Workloads) * len(must(Fig8Systems())),
 		"fig9":        len(Fig9Depths) * len(Fig6Systems()),
 		"fig10":       len(Fig10Sizes) * 3,
 		"fig11":       len(Fig11Sizes) * 2,

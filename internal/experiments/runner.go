@@ -78,6 +78,7 @@ func ForEach(n, workers int, fn func(i int)) {
 	close(next)
 	wg.Wait()
 	if panic1 != nil {
+		//smt:allow panic -- re-raises a worker goroutine's panic on the caller; swallowing it would mislabel the run as clean
 		panic(panic1)
 	}
 }
@@ -124,13 +125,15 @@ func RunNamed(names []string, opts RunOptions) ([]ExperimentRun, error) {
 	}
 	runs := make([]ExperimentRun, len(exps))
 	for i, e := range exps {
+		//smt:allow determinism -- wall-clock elapsed time is runner metadata, never part of the measured artifact
 		start := time.Now()
 		results := Run(e, opts)
 		runs[i] = ExperimentRun{
 			Name:        e.Name(),
 			Description: e.Describe(),
 			Results:     results,
-			ElapsedMs:   float64(time.Since(start)) / 1e6,
+			//smt:allow determinism -- wall-clock elapsed time is runner metadata, never part of the measured artifact
+			ElapsedMs: float64(time.Since(start)) / 1e6,
 		}
 	}
 	return runs, nil

@@ -116,6 +116,7 @@ func (r *streamRecord) validate(cm *cost.Model) error {
 func (r *streamRecord) mustCodec(cm *cost.Model, keys ktls.Keys) tcpsim.Codec {
 	c, err := r.newCodec(cm, keys)
 	if err != nil {
+		//smt:allow panic -- the spec was validated at RegisterStack; failing after validation is a programming error
 		panic(fmt.Sprintf("experiments: %s codec failed after validation: %v", r.label, err))
 	}
 	return c
@@ -228,6 +229,7 @@ func BuildSystem(spec StackSpec) (System, error) {
 func MustBuildFabric(spec StackSpec) FabricSystem {
 	f, err := BuildFabric(spec)
 	if err != nil {
+		//smt:allow panic -- Must-prefixed escalation for registered (pre-validated) specs; arbitrary specs go through BuildFabric
 		panic("experiments: " + err.Error())
 	}
 	return f
@@ -253,12 +255,14 @@ var (
 func RegisterStack(spec StackSpec) {
 	name := spec.name()
 	if _, err := BuildFabric(spec); err != nil {
+		//smt:allow panic -- init-time registration contract: every registered stack must build
 		panic("experiments: RegisterStack " + name + ": " + err.Error())
 	}
 	key := strings.ToLower(name)
 	stackMu.Lock()
 	defer stackMu.Unlock()
 	if _, dup := stackByKey[key]; dup {
+		//smt:allow panic -- init-time registration contract; a duplicate would silently shadow a stack
 		panic("experiments: duplicate RegisterStack of " + name)
 	}
 	spec.Name = name
@@ -314,6 +318,7 @@ func init() {
 func mustStack(name string) StackSpec {
 	s, ok := LookupStack(name)
 	if !ok {
+		//smt:allow panic -- init-time lookup of the built-in lineup; a missing name is a registration bug
 		panic("experiments: stack " + name + " not registered")
 	}
 	return s

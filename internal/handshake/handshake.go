@@ -148,6 +148,8 @@ type Identity struct {
 }
 
 // NewIdentity generates server credentials from crypto/rand.
+//
+//smt:allow determinism -- real-entropy convenience constructor; simulated worlds use NewIdentityRand with the engine RNG
 func NewIdentity() (*Identity, error) { return NewIdentityRand(rand.Reader) }
 
 // NewIdentityRand generates server credentials with key material drawn
@@ -223,6 +225,7 @@ type Ticket struct {
 func NewTicket(id *Identity, expiry sim.Time) (*Ticket, error) {
 	pub := id.LongDH.PublicKey().Bytes()
 	digest := sha256.Sum256(append(append([]byte{}, pub...), id.Cert()...))
+	//smt:allow determinism -- ECDSA nonce entropy; the signature is verified, never compared byte-for-byte in artifacts
 	sig, err := ecdsa.SignASN1(rand.Reader, id.SigKey, digest[:])
 	if err != nil {
 		return nil, fmt.Errorf("handshake: ticket sign: %w", err)

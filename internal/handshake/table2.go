@@ -28,10 +28,12 @@ type Table2Row struct {
 
 // timeIt runs fn `iters` times and returns mean microseconds.
 func timeIt(iters int, fn func()) float64 {
+	//smt:allow determinism -- Table 2 is a real-crypto wall-clock microbenchmark, excluded from the determinism battery
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		fn()
 	}
+	//smt:allow determinism -- Table 2 is a real-crypto wall-clock microbenchmark, excluded from the determinism battery
 	return float64(time.Since(start).Microseconds()) / float64(iters)
 }
 
@@ -40,14 +42,23 @@ func timeIt(iters int, fn func()) float64 {
 func MeasureTable2() []Table2Row {
 	const iters = 50
 	curve := ecdh.P256()
+	// The timed operations below run real crypto with real entropy: only
+	// the *durations* feed the table, never the key or signature bytes.
+	//smt:allow determinism -- real-entropy keys for a wall-clock microbenchmark; bytes never reach artifacts
 	cliKey, _ := curve.GenerateKey(rand.Reader)
+	//smt:allow determinism -- real-entropy keys for a wall-clock microbenchmark; bytes never reach artifacts
 	srvKey, _ := curve.GenerateKey(rand.Reader)
+	//smt:allow determinism -- real-entropy keys for a wall-clock microbenchmark; bytes never reach artifacts
 	sigKey, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	//smt:allow determinism -- real-entropy keys for a wall-clock microbenchmark; bytes never reach artifacts
 	rsaKey, _ := rsa.GenerateKey(rand.Reader, 2048)
 	digest := sha256.Sum256([]byte("certificate-verify-transcript"))
+	//smt:allow determinism -- real-entropy signature for a wall-clock microbenchmark; bytes never reach artifacts
 	ecSig, _ := ecdsa.SignASN1(rand.Reader, sigKey, digest[:])
+	//smt:allow determinism -- real-entropy signature for a wall-clock microbenchmark; bytes never reach artifacts
 	rsaSig, _ := rsa.SignPKCS1v15(rand.Reader, rsaKey, 0, digest[:])
 
+	//smt:allow determinism -- timed real-crypto operation; only its duration is recorded
 	keyGen := timeIt(iters, func() { _, _ = curve.GenerateKey(rand.Reader) })
 	dh := timeIt(iters, func() { _, _ = cliKey.ECDH(srvKey.PublicKey()) })
 	derive := timeIt(iters, func() {
@@ -55,8 +66,10 @@ func MeasureTable2() []Table2Row {
 		_ = hkdfx.DeriveSecret(m, "c hs traffic", digest[:])
 		_ = hkdfx.DeriveSecret(m, "s hs traffic", digest[:])
 	})
+	//smt:allow determinism -- timed real-crypto operation; only its duration is recorded
 	ecSign := timeIt(iters, func() { _, _ = ecdsa.SignASN1(rand.Reader, sigKey, digest[:]) })
 	ecVerify := timeIt(iters, func() { _ = ecdsa.VerifyASN1(&sigKey.PublicKey, digest[:], ecSig) })
+	//smt:allow determinism -- timed real-crypto operation; only its duration is recorded
 	rsaSign := timeIt(10, func() { _, _ = rsa.SignPKCS1v15(rand.Reader, rsaKey, 0, digest[:]) })
 	rsaVerify := timeIt(iters, func() { _ = rsa.VerifyPKCS1v15(&rsaKey.PublicKey, 0, digest[:], rsaSig) })
 	hashSmall := timeIt(iters, func() { _ = sha256.Sum256(digest[:]) })

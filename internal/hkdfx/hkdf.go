@@ -26,6 +26,7 @@ func Extract(salt, ikm []byte) []byte {
 // which is a static misuse rather than a runtime condition.
 func Expand(prk, info []byte, length int) []byte {
 	if length > 255*sha256.Size {
+		//smt:allow panic -- RFC 5869 output-length ceiling; callers pass compile-time label lengths, so this is static misuse
 		panic(fmt.Sprintf("hkdfx: requested %d bytes exceeds HKDF limit", length))
 	}
 	var (

@@ -291,41 +291,68 @@ func (s *Socket) complete(p *peer, m *inMsg, core int) {
 	s.host.RunSoftirq(core, cm.WakeupCPU, nil)
 
 	thread := s.pickAppThread()
-	s.host.Eng.PostAfter(cm.WakeupLatency, func() {
-		// Decode (and decrypt) each segment, summing the CPU the app
-		// context owes; a corrupted segment re-enters recovery.
-		var cpu sim.Time = cm.Syscall + cm.MsgDeliver + cm.Copy(m.msgLen)
-		payload := make([]byte, 0, m.msgLen)
-		for _, seg := range m.segs {
-			plain, c, err := p.codec.Decode(m.id, m.msgLen, seg.plainOff, seg.buf[:seg.wireLen])
-			cpu += c
-			if err != nil {
-				s.corruptSegment(p, m, seg, core)
-				return
-			}
-			payload = append(payload, plain...)
+	var d *deliverEvent
+	if l := len(s.deliverFree); l > 0 {
+		d = s.deliverFree[l-1]
+		s.deliverFree[l-1] = nil
+		s.deliverFree = s.deliverFree[:l-1]
+	} else {
+		d = &deliverEvent{s: s}
+	}
+	d.p, d.m, d.thread, d.core = p, m, thread, core
+	s.host.Eng.PostActionAfter(cm.WakeupLatency, d)
+}
+
+// deliverEvent is the pooled wakeup callback for a completed message:
+// the app context decodes (and decrypts) the segments, returns the
+// reassembly buffers and hands the payload to the application.
+type deliverEvent struct {
+	s      *Socket
+	p      *peer
+	m      *inMsg
+	thread int
+	core   int
+}
+
+// Run implements sim.Action.
+func (d *deliverEvent) Run() {
+	s, p, m, thread, core := d.s, d.p, d.m, d.thread, d.core
+	d.p, d.m = nil, nil
+	s.deliverFree = append(s.deliverFree, d)
+	cm := s.host.CM
+	// Decode (and decrypt) each segment, summing the CPU the app
+	// context owes; a corrupted segment re-enters recovery.
+	var cpu sim.Time = cm.Syscall + cm.MsgDeliver + cm.Copy(m.msgLen)
+	payload := make([]byte, 0, m.msgLen)
+	for _, seg := range m.segs {
+		plain, c, err := p.codec.Decode(m.id, m.msgLen, seg.plainOff, seg.buf[:seg.wireLen])
+		cpu += c
+		if err != nil {
+			s.corruptSegment(p, m, seg, core)
+			return
 		}
-		delete(p.in, m.id)
-		delete(s.msgCore, msgKey{m.pk, m.id})
-		p.markDone(m.id)
-		s.activeIn--
-		// Every segment decoded (and its plaintext copied into payload):
-		// the reassembly buffers go back to the pool.
-		for _, seg := range m.segs {
-			s.segBufFree = append(s.segBufFree, seg.buf)
-			seg.buf = nil
+		payload = append(payload, plain...)
+	}
+	delete(p.in, m.id)
+	delete(s.msgCore, msgKey{m.pk, m.id})
+	p.markDone(m.id)
+	s.activeIn--
+	// Every segment decoded (and its plaintext copied into payload):
+	// the reassembly buffers go back to the pool.
+	for _, seg := range m.segs {
+		s.segBufFree = append(s.segBufFree, seg.buf)
+		seg.buf = nil
+	}
+	s.host.RunApp(thread, cpu, func() {
+		s.ctrl(m.pk, wire.TypeAck, m.id, 0, 0, core)
+		s.Stats.MsgsDelivered++
+		if s.onMessage != nil {
+			s.onMessage(Delivery{
+				Src: m.pk.addr, SrcPort: m.pk.port,
+				MsgID: m.id, Payload: payload,
+				AppThread: thread, Recv: s.host.Eng.Now(),
+			})
 		}
-		s.host.RunApp(thread, cpu, func() {
-			s.ctrl(m.pk, wire.TypeAck, m.id, 0, 0, core)
-			s.Stats.MsgsDelivered++
-			if s.onMessage != nil {
-				s.onMessage(Delivery{
-					Src: m.pk.addr, SrcPort: m.pk.port,
-					MsgID: m.id, Payload: payload,
-					AppThread: thread, Recv: s.host.Eng.Now(),
-				})
-			}
-		})
 	})
 }
 

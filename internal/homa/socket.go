@@ -97,9 +97,10 @@ type Socket struct {
 	// rxFree / ctrlFree recycle the pooled softirq callbacks of the
 	// receive path; segBufFree recycles segment reassembly buffers
 	// (returned when a message completes). Single goroutine, no sync.
-	rxFree     []*rxEvent
-	ctrlFree   []*ctrlEvent
-	segBufFree [][]byte
+	rxFree      []*rxEvent
+	ctrlFree    []*ctrlEvent
+	deliverFree []*deliverEvent
+	segBufFree  [][]byte
 	// groLastMsg/groLastRx track homa_gro aggregation state.
 	groLastMsg msgKey
 	groLastRx  sim.Time
@@ -287,9 +288,11 @@ func nSegs(n, span int) int { return (n + span - 1) / span }
 // direction.
 func (s *Socket) Send(dstAddr uint32, dstPort uint16, payload []byte, appThread int) uint64 {
 	if len(payload) == 0 {
+		//smt:allow panic -- Send-API misuse by the harness; an empty message has no wire encoding
 		panic("homa: empty message")
 	}
 	if s.closed {
+		//smt:allow panic -- Send-API misuse by the harness; a closed socket's packets would leak into the fabric
 		panic("homa: send on closed socket")
 	}
 	pk := peerKey{dstAddr, dstPort}

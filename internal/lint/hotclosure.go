@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotClosureAnalyzer guards the allocation-free scheduling contract
+// from PR 5: Engine.Post/PostAfter are the zero-allocation
+// fire-and-forget forms, so passing them a func literal that captures
+// variables silently reintroduces one closure allocation per event —
+// exactly what the pooled PostAction/PostActionAfter forms (or a
+// prebuilt closure stored on the long-lived struct) exist to avoid.
+// The steady-state alloc pins (TestSteadyStateAllocs) only catch this
+// when the offending path sits inside a pinned benchmark; this analyzer
+// catches it at every call site. Capture-free literals compile to
+// static function values and are fine; so are prebuilt func-valued
+// fields and package-level functions.
+var HotClosureAnalyzer = &Analyzer{
+	Name: "hotclosure",
+	Doc:  "forbid capturing func literals on the alloc-free Engine.Post/PostAfter hot path; use PostAction or a prebuilt callback",
+	Run:  runHotClosure,
+}
+
+// hotPathMethods are the scheduling entry points whose contract is "no
+// allocation at the call site".
+var hotPathMethods = map[string]bool{"Post": true, "PostAfter": true}
+
+func runHotClosure(pass *Pass) {
+	info := pass.Pkg.Info
+	walkFiles(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !hotPathMethods[sel.Sel.Name] {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "smt/internal/sim" {
+			return true
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil || !isEngineRecv(recv.Type()) {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			if capt := captured(info, lit); capt != "" {
+				pass.Report(lit.Pos(), "func literal capturing %q allocates per event on the alloc-free Engine.%s path; use PostAction with a pooled callback or a prebuilt func field", capt, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isEngineRecv(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Engine" && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "smt/internal/sim"
+}
+
+// captured returns the name of one variable the literal captures from
+// an enclosing function scope, or "" if it is capture-free. Package-
+// level objects (globals, funcs, consts) do not force a closure
+// allocation and are not captures.
+func captured(info *types.Info, lit *ast.FuncLit) string {
+	// Variables declared inside the literal (params, locals).
+	inside := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				inside[obj] = true
+			}
+		}
+		return true
+	})
+	var capt string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if capt != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || inside[v] || v.IsField() {
+			return true
+		}
+		// Package-level vars live in the package scope: referencing one
+		// does not capture. Anything else var-like used here but declared
+		// outside the literal is a capture (locals, params, receivers,
+		// range vars of the enclosing function).
+		if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		capt = v.Name()
+		return false
+	})
+	return capt
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicAnalyzer enforces the error-return convention PRs 4 and 7
+// established for library code: a panic in internal/ non-test code must
+// carry a reasoned //smt:allow panic annotation or be converted to an
+// error return. The annotated survivors are deliberate invariant
+// guards — pool double-release detection, "time went backwards" in the
+// engine, init-time registry contracts — where continuing would corrupt
+// simulator state or silently mislabel measurements. Everything
+// reachable from bad input or failed setup returns an error instead
+// (the codec fuzz targets additionally pin that decode paths never
+// panic at runtime).
+var PanicAnalyzer = &Analyzer{
+	Name: "panic",
+	Doc:  "forbid panic(...) in internal/ library code unless annotated with a reason",
+	Run:  runPanic,
+}
+
+func runPanic(pass *Pass) {
+	if !internalScope(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	walkFiles(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			pass.Report(call.Pos(), "panic in library code: return an error (the PR-4/7 convention), or annotate why failing loudly here is the invariant")
+		}
+		return true
+	})
+}

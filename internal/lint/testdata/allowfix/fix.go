@@ -1,0 +1,40 @@
+// Package allowfix is analysis-only fixture data for the "allow"
+// meta-rule: a suppression comment that is malformed must itself be a
+// finding AND must not suppress anything — otherwise a typo silently
+// disables a rule. repo_test.go runs the determinism analyzer over
+// this package, so each malformed allow is followed by the finding it
+// failed to suppress.
+package allowfix
+
+import "time"
+
+// Sink absorbs values so the fixture type-checks.
+var Sink any
+
+func missingReason() {
+	//smt:allow determinism // want "needs a reason"
+	Sink = time.Now() // want "wall-clock read time.Now"
+}
+
+func unknownRule() {
+	//smt:allow determinsim -- rule name is misspelled // want "unknown rule"
+	Sink = time.Now() // want "wall-clock read time.Now"
+}
+
+func noRules() {
+	//smt:allow -- a reason with no rules in front of it // want "names no rules"
+	Sink = time.Now() // want "wall-clock read time.Now"
+}
+
+// wellFormed is the negative case: a reasoned, correctly named allow
+// suppresses and produces nothing.
+func wellFormed() {
+	//smt:allow determinism -- fixture: the well-formed suppression
+	Sink = time.Now()
+}
+
+// multiRule covers the comma-separated form.
+func multiRule() {
+	//smt:allow determinism,panic -- fixture: one comment, two rules
+	Sink = time.Now()
+}

@@ -1,0 +1,30 @@
+// Package hotfix is analysis-only fixture data for the hotclosure
+// analyzer (see testdata/determinism for the want-comment convention).
+package hotfix
+
+import "smt/internal/sim"
+
+type node struct {
+	eng  *sim.Engine
+	fire func()
+	act  sim.Action
+}
+
+func use(int) {}
+
+func (n *node) capturing(x int) {
+	n.eng.Post(0, func() { use(x) })      // want "func literal capturing"
+	n.eng.PostAfter(1, func() { use(x) }) // want "func literal capturing"
+}
+
+// clean shows every approved scheduling form: a capture-free literal
+// (compiles to a static func value), a prebuilt func-valued field, the
+// pooled Action forms, and the handle-returning At/After path, which
+// allocates a Timer regardless and is not the alloc-free contract.
+func (n *node) clean(x int) {
+	n.eng.Post(0, func() { use(0) })
+	n.eng.PostAfter(1, n.fire)
+	n.eng.PostAction(0, n.act)
+	n.eng.PostActionAfter(1, n.act)
+	n.eng.At(0, func() { use(x) })
+}

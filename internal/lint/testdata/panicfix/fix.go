@@ -1,0 +1,31 @@
+// Package panicfix is analysis-only fixture data for the panic
+// analyzer (see testdata/determinism for the want-comment convention).
+package panicfix
+
+import "errors"
+
+var errNegative = errors.New("panicfix: negative input")
+
+func bare(x int) {
+	if x < 0 {
+		panic("negative") // want "panic in library code"
+	}
+}
+
+// converted is the negative case the rule steers toward: an error
+// return instead of a panic.
+func converted(x int) error {
+	if x < 0 {
+		return errNegative
+	}
+	return nil
+}
+
+// deliberate is the annotated-guard form: the panic stays, with a
+// reason on record.
+func deliberate(x int) {
+	if x < 0 {
+		//smt:allow panic -- fixture: documents the deliberate invariant-guard form
+		panic("negative")
+	}
+}

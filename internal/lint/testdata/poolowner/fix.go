@@ -1,0 +1,85 @@
+// Package poolfix is analysis-only fixture data for the poolowner
+// analyzer (see testdata/determinism for the want-comment convention).
+package poolfix
+
+import "smt/internal/wire"
+
+// transfer takes over the packet: the annotation is what the analyzer
+// honors.
+//
+//smt:owner-transfer
+func transfer(p *wire.Packet) {}
+
+// plainCall is NOT annotated, so passing a packet to it does not count
+// as a transfer — the analyzer's teeth.
+func plainCall(p *wire.Packet) {}
+
+type holder struct {
+	pkt *wire.Packet
+}
+
+func leakOnEarlyReturn(pool *wire.PacketPool, cond bool) {
+	pkt := pool.Get() // want "may leak"
+	if cond {
+		return
+	}
+	pkt.Release()
+}
+
+func leakViaPlainCallee(pool *wire.PacketPool) {
+	pkt := pool.Get() // want "may leak"
+	plainCall(pkt)
+}
+
+func leakOneBranch(pool *wire.PacketPool, cond bool) {
+	pkt := pool.Get() // want "may leak"
+	if cond {
+		pkt.Release()
+	}
+}
+
+func discarded(pool *wire.PacketPool) {
+	pool.Get()     // want "discarded at acquisition"
+	_ = pool.Get() // want "discarded at acquisition"
+}
+
+func cleanBothBranches(pool *wire.PacketPool, cond bool) {
+	pkt := pool.Get()
+	if cond {
+		pkt.Release()
+		return
+	}
+	pkt.Release()
+}
+
+func cleanDefer(pool *wire.PacketPool) {
+	pkt := pool.Get()
+	defer pkt.Release()
+	plainCall(pkt)
+}
+
+func cleanTransfer(pool *wire.PacketPool) {
+	pkt := pool.Get()
+	transfer(pkt)
+}
+
+func cleanReturn(pool *wire.PacketPool) *wire.Packet {
+	pkt := pool.Get()
+	return pkt
+}
+
+func cleanStoreField(pool *wire.PacketPool, h *holder) {
+	pkt := pool.Get()
+	h.pkt = pkt
+}
+
+func cleanAppend(pool *wire.PacketPool, sink []*wire.Packet) []*wire.Packet {
+	pkt := pool.Get()
+	sink = append(sink, pkt)
+	return sink
+}
+
+func cleanSend(pool *wire.PacketPool, ch chan *wire.Packet) {
+	pkt := pool.Get()
+	ch <- pkt
+}

@@ -1,0 +1,23 @@
+// Package rngfix is analysis-only fixture data for the rngplumb
+// analyzer; repo_test.go loads it under a synthetic import path inside
+// smt/internal/workload so it falls in the analyzer's jurisdiction
+// (see testdata/determinism for the want-comment convention).
+package rngfix
+
+import "math/rand"
+
+var shared = rand.New(rand.NewSource(1)) // want "package-level RNG state" "rand.New builds a second RNG stream" "rand.NewSource builds a second RNG stream"
+
+func globalDraw() int {
+	return rand.Intn(10) // want "global rand.Intn draw"
+}
+
+func localStream() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "rand.New builds a second RNG stream" "rand.NewSource builds a second RNG stream"
+}
+
+// clean is the approved form: draw from the *rand.Rand plumbed down
+// from sim.Engine.Rand.
+func clean(rng *rand.Rand) int {
+	return rng.Intn(10)
+}

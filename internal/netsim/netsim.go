@@ -122,6 +122,7 @@ type Topology struct {
 // themselves afterwards (cpusim.NewHost calls Attach via the NIC).
 func (t Topology) Build(eng *sim.Engine, cm *cost.Model) *Network {
 	if t.Hosts < 2 {
+		//smt:allow panic -- construction-time topology contract; a one-host network is a harness bug
 		panic(fmt.Sprintf("netsim: topology needs >= 2 hosts, got %d", t.Hosts))
 	}
 	n := New(eng, cm)
@@ -299,6 +300,7 @@ func (n *Network) SetTap(t Tap) { n.tap = t }
 // Attaching an address twice replaces the handler.
 func (n *Network) Attach(addr uint32, rx func(*wire.Packet)) {
 	if rx == nil {
+		//smt:allow panic -- wiring-time contract; a nil handler would silently blackhole (and leak) every delivered packet
 		panic(fmt.Sprintf("netsim: nil rx for %d", addr))
 	}
 	n.eps[addr] = rx

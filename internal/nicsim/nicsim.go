@@ -161,6 +161,7 @@ type NIC struct {
 // New creates a NIC with nQueues transmit queues, attached to net at addr.
 func New(eng *sim.Engine, cm *cost.Model, net *netsim.Network, addr uint32, nQueues int) *NIC {
 	if nQueues < 1 {
+		//smt:allow panic -- construction-time config contract; a queueless NIC is a harness bug
 		panic("nicsim: need at least one queue")
 	}
 	n := &NIC{
@@ -209,6 +210,7 @@ func (n *NIC) ContextSeq(id uint64) (uint64, bool) {
 // bit leaves the link.
 func (n *NIC) SendSegment(q int, seg *TxSegment) {
 	if q < 0 || q >= len(n.queues) {
+		//smt:allow panic -- stack/queue wiring bug; charging another queue's arbitration would mislabel measurements
 		panic(fmt.Sprintf("nicsim: queue %d out of range", q))
 	}
 	qr := n.queues[q]
@@ -271,6 +273,7 @@ func (n *NIC) seal(seg *TxSegment, ctx *tlsCtx) {
 		}
 		ctx.next++
 		if err := ctx.aead.SealInPlace(seg.Pkt.Payload, rec.Off, rec.InnerLen, use); err != nil {
+			//smt:allow panic -- record descriptors were laid out by the stack's encoder; a bad one means corrupted segment state
 			panic(fmt.Sprintf("nicsim: bad record descriptor: %v", err))
 		}
 		n.Stats.SealedRecs++
@@ -289,6 +292,7 @@ func (n *NIC) emit(q int, seg *TxSegment) {
 	}
 	mtu := seg.MTU
 	if mtu <= wire.IPv4HeaderLen+wire.OverlayHeaderLen {
+		//smt:allow panic -- config contract: an MTU below the header overhead can carry no payload bytes
 		panic("nicsim: MTU too small")
 	}
 	per := mtu - wire.IPv4HeaderLen - wire.OverlayHeaderLen
@@ -337,6 +341,8 @@ func (n *NIC) emit(q int, seg *TxSegment) {
 }
 
 // enqueue appends a packet to queue q's FIFO and kicks the arbiter.
+//
+//smt:owner-transfer
 func (n *NIC) enqueue(q int, pkt *wire.Packet, onWire func()) {
 	n.pq[q] = append(n.pq[q], pendingPkt{pkt: pkt, onWire: onWire})
 	n.kickWire()

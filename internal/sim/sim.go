@@ -229,6 +229,7 @@ type Engine struct {
 // NewEngine returns an engine whose clock starts at zero and whose random
 // source is seeded with seed (use a fixed seed for reproducible runs).
 func NewEngine(seed int64) *Engine {
+	//smt:allow determinism -- the engine RNG: seeded by the caller, this IS the deterministic randomness source
 	return &Engine{rng: rand.New(rand.NewSource(seed))}
 }
 
@@ -277,6 +278,7 @@ func (e *Engine) schedule(at Time, fn func(), act Action) *event {
 // pending events with the same timestamp.
 func (e *Engine) At(at Time, fn func()) *Timer {
 	if fn == nil {
+		//smt:allow panic -- scheduling a nil callback can only be a programming error; it would fire as a crash later anyway
 		panic("sim: nil event func")
 	}
 	ev := e.schedule(at, fn, nil)
@@ -295,6 +297,7 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 // the allocation-free path for fire-and-forget events.
 func (e *Engine) Post(at Time, fn func()) {
 	if fn == nil {
+		//smt:allow panic -- scheduling a nil callback can only be a programming error; it would fire as a crash later anyway
 		panic("sim: nil event func")
 	}
 	e.schedule(at, fn, nil)
@@ -313,6 +316,7 @@ func (e *Engine) PostAfter(d Time, fn func()) {
 // the scheduler without allocating.
 func (e *Engine) PostAction(at Time, a Action) {
 	if a == nil {
+		//smt:allow panic -- scheduling a nil action can only be a programming error; it would fire as a crash later anyway
 		panic("sim: nil action")
 	}
 	e.schedule(at, nil, a)
@@ -334,6 +338,7 @@ func (e *Engine) PostActionAfter(d Time, a Action) {
 // event ordering.
 func (e *Engine) ResetAt(t *Timer, at Time, fn func()) {
 	if fn == nil {
+		//smt:allow panic -- scheduling a nil callback can only be a programming error; it would fire as a crash later anyway
 		panic("sim: nil event func")
 	}
 	if at < e.now {
@@ -341,6 +346,7 @@ func (e *Engine) ResetAt(t *Timer, at Time, fn func()) {
 	}
 	if t.ev != nil && t.ev.gen == t.gen {
 		if t.eng != e {
+			//smt:allow panic -- cross-engine re-arm corrupts both event heaps; no sane recovery exists
 			panic("sim: Timer re-armed on a different engine")
 		}
 		ev := t.ev
@@ -382,6 +388,7 @@ func (e *Engine) step() bool {
 	}
 	ev := e.heap.popMin()
 	if ev.at < e.now {
+		//smt:allow panic -- a backwards clock invalidates every subsequent measurement; the run must die, not mislabel results
 		panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
 	}
 	e.now = ev.at

@@ -118,6 +118,7 @@ func (h *Histogram) Max() int64 {
 func (h *Histogram) orderedBuckets() []bucketCount {
 	if h.sorted == nil {
 		h.sorted = make([]bucketCount, 0, len(h.counts))
+		//smt:allow determinism -- buckets are sorted below; iteration order never escapes
 		for b, c := range h.counts {
 			h.sorted = append(h.sorted, bucketCount{b, c})
 		}
@@ -177,6 +178,7 @@ func (h *Histogram) Merge(other *Histogram) {
 		h.min = math.MaxInt64
 		h.max = math.MinInt64
 	}
+	//smt:allow determinism -- bucket addition is commutative; order never escapes
 	for b, c := range other.counts {
 		h.counts[b] += c
 	}

@@ -87,6 +87,7 @@ func (c *Codec) EncodeStream(data []byte) ([]tcpsim.Chunk, sim.Time) {
 		seq := c.txSeq.Next()
 		sealed, err := c.tx.SealRecord(nil, seq, wire.RecordTypeApplicationData, inner, 0)
 		if err != nil {
+			//smt:allow panic -- sealing with session keys over validated sizes cannot fail; an error means corrupted key state
 			panic(fmt.Sprintf("tcpls: seal: %v", err))
 		}
 		cpu += c.cm.CryptoSW(len(sealed)) + c.cm.TCPLSRecord

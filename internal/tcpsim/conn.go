@@ -162,9 +162,11 @@ func framed(msg []byte) []byte {
 // copy and codec (crypto) costs charge on the connection's app thread.
 func (c *Conn) SendMessage(msg []byte) {
 	if c.closed {
+		//smt:allow panic -- Send-API misuse by the harness; bytes on a closed conn would corrupt the stream accounting
 		panic("tcpsim: send on closed conn")
 	}
 	if len(msg) == 0 {
+		//smt:allow panic -- Send-API misuse by the harness; an empty message has no framing
 		panic("tcpsim: empty message")
 	}
 	c.Stats.MsgsSent++
@@ -205,6 +207,7 @@ func (c *Conn) OnHandshake(fn func(payload []byte)) { c.onHandshake = fn }
 // ciphertext is in flight desynchronizes both ends by design.
 func (c *Conn) SetCodec(codec Codec) {
 	if codec == nil {
+		//smt:allow panic -- wiring bug: clearing the codec mid-stream would silently fall back to plaintext
 		panic("tcpsim: SetCodec(nil)")
 	}
 	c.codec = codec

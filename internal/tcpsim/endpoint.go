@@ -1,6 +1,8 @@
 package tcpsim
 
 import (
+	"sort"
+
 	"smt/internal/cpusim"
 	"smt/internal/nicsim"
 	"smt/internal/sim"
@@ -59,6 +61,7 @@ func Dial(host *cpusim.Host, appThread int, cfg Config, newCodec func(localPort 
 		if codec == nil {
 			// A non-nil factory returning nil is a wiring bug; running the
 			// connection in plaintext would silently mislabel measurements.
+			//smt:allow panic -- see above: fail loudly rather than mislabel an encrypted stack as plaintext
 			panic("tcpsim: Dial codec factory returned nil")
 		}
 	}
@@ -180,6 +183,7 @@ func (e *Endpoint) HandlePacket(pkt *wire.Packet, core int) {
 			if codec == nil {
 				// Mirror Dial's contract: a factory that returns nil is a
 				// wiring bug, not a plaintext request.
+				//smt:allow panic -- see above: fail loudly rather than mislabel an encrypted stack as plaintext
 				panic("tcpsim: Listen codec factory returned nil")
 			}
 			c = newConn(e.host, e.cfg, codec, e.port, pkt.IP.Src, pkt.Overlay.SrcPort, thread)
@@ -211,19 +215,37 @@ func (e *Endpoint) HandlePacket(pkt *wire.Packet, core int) {
 	}
 }
 
-// Conns returns the endpoint's live connections (tests).
+// Conns returns the endpoint's live connections in peer (addr, port)
+// order (tests index into the result).
 func (e *Endpoint) Conns() []*Conn {
-	out := make([]*Conn, 0, len(e.conns))
-	for _, c := range e.conns {
-		out = append(out, c)
-	}
-	return out
+	return e.sortedConns()
 }
 
-// Close unbinds the endpoint and closes its connections.
+// Close unbinds the endpoint and closes its connections in peer order.
 func (e *Endpoint) Close() {
-	for _, c := range e.conns {
+	for _, c := range e.sortedConns() {
 		c.Close()
 	}
 	e.host.Unbind(wire.ProtoTCP, e.port)
+}
+
+// sortedConns lists connections in peer-key order so no caller observes
+// map iteration order.
+func (e *Endpoint) sortedConns() []*Conn {
+	keys := make([]connKey, 0, len(e.conns))
+	//smt:allow determinism -- keys are sorted before use; iteration order never escapes
+	for k := range e.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].addr != keys[j].addr {
+			return keys[i].addr < keys[j].addr
+		}
+		return keys[i].port < keys[j].port
+	})
+	out := make([]*Conn, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, e.conns[k])
+	}
+	return out
 }

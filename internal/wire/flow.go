@@ -190,6 +190,7 @@ func (pp *PacketPool) Get() *Packet {
 
 func (pp *PacketPool) put(p *Packet) {
 	if p.pooled {
+		//smt:allow panic -- double release poisons the pool (two owners of one buffer); the leak counters cannot catch it later
 		panic("wire: packet released twice")
 	}
 	p.pooled = true

@@ -62,21 +62,21 @@ type Mix struct {
 }
 
 // NewMix builds a Mix from entries (any order; weights need not sum
-// to 1). It panics on empty input, non-positive sizes or weights, and
-// duplicate sizes — mix grids are compile-time experiment constants.
-func NewMix(name string, entries []MixEntry) *Mix {
+// to 1). It rejects empty input, non-positive sizes or weights, and
+// duplicate sizes.
+func NewMix(name string, entries []MixEntry) (*Mix, error) {
 	if len(entries) == 0 {
-		panic("workload: empty mix")
+		return nil, fmt.Errorf("workload: empty mix")
 	}
 	es := append([]MixEntry(nil), entries...)
 	sort.Slice(es, func(i, j int) bool { return es[i].Size < es[j].Size })
 	var total float64
 	for i, e := range es {
 		if e.Size <= 0 || e.Weight <= 0 {
-			panic(fmt.Sprintf("workload: bad mix entry %+v", e))
+			return nil, fmt.Errorf("workload: bad mix entry %+v", e)
 		}
 		if i > 0 && es[i-1].Size == e.Size {
-			panic(fmt.Sprintf("workload: duplicate mix size %d", e.Size))
+			return nil, fmt.Errorf("workload: duplicate mix size %d", e.Size)
 		}
 		total += e.Weight
 	}
@@ -89,6 +89,18 @@ func NewMix(name string, entries []MixEntry) *Mix {
 		m.mean += float64(e.Size) * e.Weight / total
 	}
 	m.cum[len(m.cum)-1] = 1 // absorb rounding
+	return m, nil
+}
+
+// MustMix is NewMix for compile-time-constant mix grids (the experiment
+// tables): invalid entries there are programming errors, not runtime
+// conditions.
+func MustMix(name string, entries []MixEntry) *Mix {
+	m, err := NewMix(name, entries)
+	if err != nil {
+		//smt:allow panic -- entries are compile-time experiment constants; a bad grid is a programming error
+		panic(err)
+	}
 	return m
 }
 
@@ -112,7 +124,7 @@ func (m *Mix) Sizes() []int { return append([]int(nil), m.sizes...) }
 // small messages with a minority of large ones carrying most of the
 // bytes (mean ≈ 11.8 KB, max 64 KB).
 func WebSearch() *Mix {
-	return NewMix("websearch", []MixEntry{
+	return MustMix("websearch", []MixEntry{
 		{Size: 256, Weight: 0.40},
 		{Size: 1024, Weight: 0.25},
 		{Size: 8192, Weight: 0.20},
@@ -168,12 +180,12 @@ type OpenLoop struct {
 // over clients × streams via issue. Call Start to begin the arrival
 // process and Done from the response path.
 func NewOpenLoop(eng *sim.Engine, dist Dist, clients, streams int, rate float64,
-	issue func(client, stream int, reqID uint64, size int)) *OpenLoop {
+	issue func(client, stream int, reqID uint64, size int)) (*OpenLoop, error) {
 	if clients <= 0 || streams <= 0 {
-		panic(fmt.Sprintf("workload: need clients, streams >= 1; got %d, %d", clients, streams))
+		return nil, fmt.Errorf("workload: need clients, streams >= 1; got %d, %d", clients, streams)
 	}
 	if rate <= 0 {
-		panic(fmt.Sprintf("workload: need rate > 0; got %g", rate))
+		return nil, fmt.Errorf("workload: need rate > 0; got %g", rate)
 	}
 	o := &OpenLoop{
 		eng:     eng,
@@ -185,7 +197,7 @@ func NewOpenLoop(eng *sim.Engine, dist Dist, clients, streams int, rate float64,
 		sent:    make(map[uint64]sentReq),
 	}
 	o.arrivalFn = o.arrival
-	return o
+	return o, nil
 }
 
 // Start launches the Poisson arrival process: the first arrival is one

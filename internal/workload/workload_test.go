@@ -22,7 +22,10 @@ func TestFixedDist(t *testing.T) {
 }
 
 func TestMixNormalizesAndSorts(t *testing.T) {
-	m := NewMix("m", []MixEntry{{Size: 1000, Weight: 3}, {Size: 10, Weight: 1}})
+	m, err := NewMix("m", []MixEntry{{Size: 1000, Weight: 3}, {Size: 10, Weight: 1}})
+	if err != nil {
+		t.Fatalf("NewMix: %v", err)
+	}
 	if s := m.Sizes(); len(s) != 2 || s[0] != 10 || s[1] != 1000 {
 		t.Fatalf("sizes not ascending: %v", s)
 	}
@@ -57,7 +60,7 @@ func TestMixSampleFrequencies(t *testing.T) {
 	}
 }
 
-func TestMixPanicsOnBadInput(t *testing.T) {
+func TestMixRejectsBadInput(t *testing.T) {
 	for name, entries := range map[string][]MixEntry{
 		"empty":     {},
 		"zeroSize":  {{Size: 0, Weight: 1}},
@@ -65,13 +68,32 @@ func TestMixPanicsOnBadInput(t *testing.T) {
 		"dup":       {{Size: 10, Weight: 1}, {Size: 10, Weight: 2}},
 	} {
 		t.Run(name, func(t *testing.T) {
+			if m, err := NewMix("bad", entries); err == nil {
+				t.Errorf("NewMix accepted %v: %+v", entries, m)
+			}
+			// MustMix escalates the same rejection to a panic for
+			// compile-time mix tables.
 			defer func() {
 				if recover() == nil {
-					t.Error("NewMix should panic")
+					t.Error("MustMix should panic")
 				}
 			}()
-			NewMix("bad", entries)
+			MustMix("bad", entries)
 		})
+	}
+}
+
+func TestOpenLoopRejectsBadConfig(t *testing.T) {
+	eng := sim.NewEngine(1)
+	issue := func(client, stream int, reqID uint64, size int) {}
+	if _, err := NewOpenLoop(eng, Fixed(1), 0, 1, 1, issue); err == nil {
+		t.Error("NewOpenLoop accepted zero clients")
+	}
+	if _, err := NewOpenLoop(eng, Fixed(1), 1, 0, 1, issue); err == nil {
+		t.Error("NewOpenLoop accepted zero streams")
+	}
+	if _, err := NewOpenLoop(eng, Fixed(1), 1, 1, 0, issue); err == nil {
+		t.Error("NewOpenLoop accepted zero rate")
 	}
 }
 
@@ -81,13 +103,16 @@ func runEchoOpenLoop(t *testing.T, seed int64, rate float64) *OpenLoop {
 	t.Helper()
 	eng := sim.NewEngine(seed)
 	var gen *OpenLoop
-	gen = NewOpenLoop(eng, WebSearch(), 4, 8, rate, func(client, stream int, reqID uint64, size int) {
+	gen, err := NewOpenLoop(eng, WebSearch(), 4, 8, rate, func(client, stream int, reqID uint64, size int) {
 		if client < 0 || client >= 4 || stream < 0 || stream >= 8 {
 			t.Fatalf("issue out of range: client=%d stream=%d", client, stream)
 		}
 		delay := sim.Time(1000 + size) // 1µs + 1ns/byte
 		eng.After(delay, func() { gen.Done(reqID) })
 	})
+	if err != nil {
+		t.Fatalf("NewOpenLoop: %v", err)
+	}
 	gen.Ideal = map[int]float64{}
 	for _, s := range WebSearch().Sizes() {
 		gen.Ideal[s] = float64(1000 + s)
@@ -152,9 +177,12 @@ func TestOpenLoopIgnoresStragglers(t *testing.T) {
 	eng := sim.NewEngine(1)
 	var gen *OpenLoop
 	done := map[uint64]func(){}
-	gen = NewOpenLoop(eng, Fixed(100), 1, 1, 1e6, func(client, stream int, reqID uint64, size int) {
+	gen, err := NewOpenLoop(eng, Fixed(100), 1, 1, 1e6, func(client, stream int, reqID uint64, size int) {
 		done[reqID] = func() { gen.Done(reqID) }
 	})
+	if err != nil {
+		t.Fatalf("NewOpenLoop: %v", err)
+	}
 	gen.Start(0, 1*sim.Millisecond)
 	eng.RunUntil(2 * sim.Millisecond) // run past stop; nothing completed yet
 	if gen.Completed != 0 {

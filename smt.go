@@ -110,7 +110,7 @@ func WebSearchMix() Dist { return workload.WebSearch() }
 // round-robin over clients × streams via issue. See
 // internal/workload.OpenLoop for the measurement surface.
 func NewOpenLoop(eng *Engine, dist Dist, clients, streams int, rate float64,
-	issue func(client, stream int, reqID uint64, size int)) *OpenLoop {
+	issue func(client, stream int, reqID uint64, size int)) (*OpenLoop, error) {
 	return workload.NewOpenLoop(eng, dist, clients, streams, rate, issue)
 }
 
