@@ -13,7 +13,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +29,7 @@ func run() int {
 	list := fs.Bool("list", false, "list the available rules and exit")
 	rules := fs.String("rules", "all", "comma-separated rules to run (see -list)")
 	dir := fs.String("dir", ".", "module directory to analyze")
-	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	asJSON := fs.Bool("json", false, "emit the schema-versioned JSON report (see lint.JSONSchema)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
@@ -57,12 +56,7 @@ func run() int {
 
 	findings := lint.Run(prog, analyzers)
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []lint.Finding{}
-		}
-		if err := enc.Encode(findings); err != nil {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}

@@ -175,13 +175,19 @@ func (a *Auditor) flag(kind string, f wire.Flow, format string, args ...any) {
 	}
 }
 
-// PacketSent implements netsim.Tap.
+// PacketSent implements netsim.Tap. The audit tap is opt-in diagnostics
+// (-audit); it is never attached in default or benchmark runs, so its
+// bookkeeping is off the steady-state data path by construction.
+//
+//smt:coldpath opt-in diagnostics tap, never attached in benchmark runs
 func (a *Auditor) PacketSent(pkt *wire.Packet) {
 	a.stats.Packets++
 	a.stats.PacketBytes += uint64(pkt.WireLen())
 }
 
 // PacketDropped implements netsim.Tap.
+//
+//smt:coldpath opt-in diagnostics tap, never attached in benchmark runs
 func (a *Auditor) PacketDropped(pkt *wire.Packet, _ netsim.DropReason) {
 	a.stats.Dropped++
 	a.stats.DroppedBytes += uint64(pkt.WireLen())
@@ -189,6 +195,8 @@ func (a *Auditor) PacketDropped(pkt *wire.Packet, _ netsim.DropReason) {
 
 // PacketDelivered implements netsim.Tap: the content checks live here,
 // on every packet committed toward a receiver.
+//
+//smt:coldpath opt-in diagnostics tap, never attached in benchmark runs
 func (a *Auditor) PacketDelivered(pkt *wire.Packet, dup bool) {
 	w := uint64(pkt.WireLen())
 	a.stats.Delivered++

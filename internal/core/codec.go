@@ -97,7 +97,9 @@ func (c *Codec) getSeg() *homa.Segment {
 		c.segFree = c.segFree[:l-1]
 		return seg
 	}
+	//smt:coldpath -- segment free-list refill: runs only until the pool warms up, then every Encode reuses
 	seg := &homa.Segment{}
+	//smt:coldpath -- one-time Release hook allocated with its segment at pool-refill time
 	seg.Release = func() {
 		seg.Payload = seg.Payload[:0]
 		seg.Records = seg.Records[:0]
@@ -113,6 +115,7 @@ func grow(b []byte, n int) []byte {
 	if cap(b) >= n {
 		return b[:n]
 	}
+	//smt:coldpath -- capacity growth only; steady state hits the fast path above once buffers reach message size
 	return make([]byte, n)
 }
 

@@ -45,6 +45,12 @@ type unregistered struct{}
 
 func (unregistered) SegSpan() int           { return homa.DefaultSegSpan }
 func (unregistered) WireLen(off, n int) int { return n }
+
+// AcceptMessage always rejects: no session is registered yet. The stub
+// is replaced at RegisterSession; a steady-state world never routes
+// traffic through it.
+//
+//smt:coldpath error stub replaced at session registration
 func (unregistered) AcceptMessage(uint64) error {
 	return fmt.Errorf("core: no session registered for peer")
 }
@@ -52,6 +58,12 @@ func (unregistered) Encode(uint64, []byte, int, int, int, bool) (*homa.Segment, 
 	//smt:allow panic -- harness wiring bug: a session must be paired or handshaken before Send
 	panic("core: Send before RegisterSession")
 }
+
+// Decode always rejects: no session is registered yet. The stub is
+// replaced at RegisterSession; a steady-state world never routes
+// traffic through it.
+//
+//smt:coldpath error stub replaced at session registration
 func (unregistered) Decode(uint64, int, int, []byte) ([]byte, sim.Time, error) {
 	return nil, 0, fmt.Errorf("core: no session registered")
 }

@@ -111,6 +111,7 @@ func (h *handler) HandlePacket(pkt *wire.Packet, core int) {
 			s.rxFree[l-1] = nil
 			s.rxFree = s.rxFree[:l-1]
 		} else {
+			//smt:coldpath -- rxEvent free-list refill; steady state reuses pooled events
 			r = &rxEvent{s: s}
 		}
 		r.pkt, r.core = pkt, msgCore
@@ -210,6 +211,7 @@ func (s *Socket) newInMsg(p *peer, pkt *wire.Packet, core int) *inMsg {
 		return nil
 	}
 	span := p.codec.SegSpan()
+	//smt:allow hotalloc -- per-message RPC state; counted in the steady-state alloc budget
 	m := &inMsg{
 		id:      pkt.Overlay.MsgID,
 		pk:      p.key,
@@ -223,9 +225,11 @@ func (s *Socket) newInMsg(p *peer, pkt *wire.Packet, core int) *inMsg {
 			n = msgLen - off
 		}
 		wl := p.codec.WireLen(off, n)
+		//smt:allow hotalloc -- per-message reassembly state; counted in the steady-state alloc budget
 		m.segs = append(m.segs, &inSeg{
 			plainOff: off, plainLen: n, wireLen: wl,
-			buf:  s.getSegBuf(wl),
+			buf: s.getSegBuf(wl),
+			//smt:allow hotalloc -- per-segment arrival bitmap, sized by wire length; freed with the message
 			have: make([]bool, nPkts(wl, s.cfg.MTU)),
 		})
 	}
@@ -323,6 +327,7 @@ func (d *deliverEvent) Run() {
 	// Decode (and decrypt) each segment, summing the CPU the app
 	// context owes; a corrupted segment re-enters recovery.
 	var cpu sim.Time = cm.Syscall + cm.MsgDeliver + cm.Copy(m.msgLen)
+	//smt:allow hotalloc -- per-delivery payload buffer; ownership passes to the app, so it cannot be pooled
 	payload := make([]byte, 0, m.msgLen)
 	for _, seg := range m.segs {
 		plain, c, err := p.codec.Decode(m.id, m.msgLen, seg.plainOff, seg.buf[:seg.wireLen])
@@ -343,6 +348,7 @@ func (d *deliverEvent) Run() {
 		s.segBufFree = append(s.segBufFree, seg.buf)
 		seg.buf = nil
 	}
+	//smt:allow hotalloc -- per-delivery app completion closure; counted in the steady-state alloc budget
 	s.host.RunApp(thread, cpu, func() {
 		s.ctrl(m.pk, wire.TypeAck, m.id, 0, 0, core)
 		s.Stats.MsgsDelivered++
@@ -394,6 +400,7 @@ func (s *Socket) pickAppThread() int {
 // segment.
 func (s *Socket) armResendTimer(p *peer, m *inMsg) {
 	if m.timerFn == nil {
+		//smt:allow hotalloc -- one timer closure per message, cached on the message and reused across re-arms
 		m.timerFn = func() {
 			if m.delivered {
 				return

@@ -229,22 +229,31 @@ func (s *Socket) getSegBuf(n int) []byte {
 			return b[:n]
 		}
 	}
+	//smt:coldpath -- segment-buffer refill or growth; steady state reuses pooled buffers
 	return make([]byte, n)
 }
 
 func (s *Socket) peerFor(pk peerKey) *peer {
 	p, ok := s.peers[pk]
 	if !ok {
-		p = &peer{
-			key:   pk,
-			codec: s.newCo(pk),
-			out:   make(map[uint64]*outMsg),
-			in:    make(map[uint64]*inMsg),
-			done:  make(map[uint64]bool),
-		}
+		p = s.newPeer(pk)
 		s.peers[pk] = p
 	}
 	return p
+}
+
+// newPeer builds the per-peer state on first contact; steady state hits
+// the map lookup in peerFor instead.
+//
+//smt:coldpath peer setup runs once per (addr, port) pair
+func (s *Socket) newPeer(pk peerKey) *peer {
+	return &peer{
+		key:   pk,
+		codec: s.newCo(pk),
+		out:   make(map[uint64]*outMsg),
+		in:    make(map[uint64]*inMsg),
+		done:  make(map[uint64]bool),
+	}
 }
 
 // Peer returns the codec associated with a peer, creating the peer state
@@ -300,9 +309,12 @@ func (s *Socket) Send(dstAddr uint32, dstPort uint16, payload []byte, appThread 
 	id := p.nextMsgID
 	p.nextMsgID++
 
+	//smt:allow hotalloc -- per-message RPC state; counted in the steady-state alloc budget
 	m := &outMsg{
 		id: id, pk: pk,
-		payload:   append([]byte(nil), payload...),
+		//smt:allow hotalloc -- per-message payload copy models the send-side syscall copy
+		payload: append([]byte(nil), payload...),
+		//smt:allow hotalloc -- per-message segment bitmap; freed with the message
 		segSent:   make([]bool, nSegs(len(payload), p.codec.SegSpan())),
 		granted:   s.cfg.UnschedBytes,
 		appThread: appThread,
@@ -314,6 +326,7 @@ func (s *Socket) Send(dstAddr uint32, dstPort uint16, payload []byte, appThread 
 	// Syscall + copy in the sending thread's context, then unscheduled
 	// segments, each charging its codec build cost on the same core.
 	cm := s.host.CM
+	//smt:allow hotalloc -- per-message send closure; counted in the steady-state alloc budget
 	s.host.RunApp(appThread, cm.Syscall+cm.Copy(len(payload)), func() {
 		s.pump(p, m, s.host.AppQueue(appThread), appThread, true)
 		s.armSenderTimer(p, m)
@@ -350,6 +363,7 @@ func (s *Socket) submitSegment(p *peer, m *outMsg, off, n, queue, ctxCore int, o
 	} else {
 		cpu += cm.HomaTxSegment
 	}
+	//smt:allow hotalloc -- per-segment submit closure; counted in the steady-state alloc budget
 	submit := func() { s.toNIC(p, m, enc, off, n, queue, retransmit) }
 	if onApp {
 		s.host.RunApp(ctxCore, cpu, submit)
@@ -458,6 +472,7 @@ func (s *Socket) ctrl(pk peerKey, ty wire.PacketType, msgID uint64, off uint32, 
 		SrcPort: s.port, DstPort: pk.port,
 		Type: ty, MsgID: msgID, TSOOffset: off, Aux: aux,
 	}
+	//smt:allow hotalloc -- per-control-packet TX descriptor; counted in the steady-state alloc budget
 	s.host.NIC.SendSegment(s.host.SoftirqQueue(core), &nicsim.TxSegment{Pkt: pkt, MTU: s.cfg.MTU, NoTSO: true})
 }
 
@@ -489,6 +504,7 @@ func (s *Socket) deferCtrl(cost sim.Time, pk peerKey, ty wire.PacketType, msgID 
 		s.ctrlFree[l-1] = nil
 		s.ctrlFree = s.ctrlFree[:l-1]
 	} else {
+		//smt:coldpath -- ctrlEvent free-list refill; steady state reuses pooled events
 		c = &ctrlEvent{s: s}
 	}
 	c.pk, c.ty, c.id, c.off, c.aux, c.core = pk, ty, msgID, off, aux, core

@@ -1,0 +1,28 @@
+package lint
+
+// AllowUnusedAnalyzer is the suppression-hygiene meta-rule: an
+// //smt:allow comment exists to mark a specific, reasoned exception, so
+// one that no longer matches any finding on its line is debt — the code
+// under it was fixed (delete the comment) or moved (the suppression now
+// silently blesses whatever lands there next). Each rule named by an
+// allow is audited independently: //smt:allow determinism,panic with
+// only a determinism finding under it reports the stale panic half.
+//
+// Only rules that actually executed in this run are policed — under a
+// -rules subset, an allow for a deselected rule has no way to prove
+// itself used. The analyzer runs after every other rule by
+// construction (see Analyzers and runPackage).
+var AllowUnusedAnalyzer = &Analyzer{
+	Name: "allowunused",
+	Doc:  "an //smt:allow suppression that matches no finding on its line is itself a finding",
+	Run:  runAllowUnused,
+}
+
+func runAllowUnused(pass *Pass) {
+	for _, e := range pass.allows.entries {
+		if e.used || !pass.ran[e.rule] {
+			continue
+		}
+		pass.Report(e.pos, "suppression for rule %q matches no finding on this line; delete the stale //smt:allow", e.rule)
+	}
+}

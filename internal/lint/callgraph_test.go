@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCallGraphEdges pins the call-graph builder's resolution rules on
+// the testdata/callgraph fixture: direct calls edge to their target,
+// interface dispatch edges conservatively to every implementing type's
+// method (and only those), and calls through func-typed variables edge
+// to every address-taken function of identical signature (and only
+// those).
+func TestCallGraphEdges(t *testing.T) {
+	prog := repoProg(t)
+	pkg, err := prog.LoadFixture(filepath.Join("testdata", "callgraph"), "smt/internal/lintfix/callgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	g := prog.CallGraph(pkg)
+
+	// node resolves a fixture function by the suffix of its full name,
+	// so methods can be receiver-qualified: "Bell).Ring", "Horn).Ring".
+	node := func(suffix string) *Node {
+		t.Helper()
+		var found *Node
+		for _, n := range g.Nodes {
+			if n.Fn == nil || n.Pkg != pkg {
+				continue
+			}
+			if strings.HasSuffix(n.Fn.FullName(), suffix) {
+				if found != nil {
+					t.Fatalf("node suffix %q is ambiguous (%s and %s)", suffix, found.Fn.FullName(), n.Fn.FullName())
+				}
+				found = n
+			}
+		}
+		if found == nil {
+			t.Fatalf("no fixture node with suffix %q", suffix)
+		}
+		return found
+	}
+	hasEdge := func(from, to *Node, kind EdgeKind) bool {
+		for _, e := range from.Out {
+			if e.Callee == to && e.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	anyEdge := func(from, to *Node) bool {
+		for _, e := range from.Out {
+			if e.Callee == to {
+				return true
+			}
+		}
+		return false
+	}
+
+	must := []struct {
+		from, to string
+		kind     EdgeKind
+	}{
+		{"direct", "helper", EdgeDirect},
+		{"caller", "viaInterface", EdgeDirect},
+		// Interface dispatch: both implementations, value and pointer
+		// receiver alike.
+		{"viaInterface", "Bell).Ring", EdgeInterface},
+		{"viaInterface", "Horn).Ring", EdgeInterface},
+		// Stored func value: signature func() matches helper and the
+		// address-taken method value Bell.Ring.
+		{"stored", "helper", EdgeFuncValue},
+		{"stored", "Bell).Ring", EdgeFuncValue},
+		{"methodValue", "Bell).Ring", EdgeFuncValue},
+		{"mismatch", "takesInt", EdgeFuncValue},
+	}
+	for _, m := range must {
+		if !hasEdge(node(m.from), node(m.to), m.kind) {
+			t.Errorf("missing edge: %s -> %s (%s)", m.from, m.to, m.kind)
+		}
+	}
+
+	mustNot := []struct{ from, to string }{
+		// Silent does not implement Ringer: no dispatch edge, ever.
+		{"viaInterface", "Honk"},
+		// Signature mismatch: func() never resolves to func(int).
+		{"stored", "takesInt"},
+		{"methodValue", "takesInt"},
+		{"mismatch", "helper"},
+		// (*Horn).Ring is never address-taken, so no func-value edge.
+		{"stored", "Horn).Ring"},
+		// A direct call must not be double-counted as interface dispatch.
+		{"caller", "Bell).Ring"},
+	}
+	for _, m := range mustNot {
+		if anyEdge(node(m.from), node(m.to)) {
+			t.Errorf("forbidden edge present: %s -> %s", m.from, m.to)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAllocAnalyzer makes the steady-state allocation budget a static
+// guarantee. The dynamic pin (TestSteadyStateAllocs) measures allocs per
+// echo after warm-up; this rule rejects the cause: any heap-allocating
+// construct reachable over the call graph from a steady-state root.
+//
+// Roots are the event-dispatch and data-path surfaces everything hot
+// funnels through — sim.Action.Run implementations, netsim delivery,
+// the codec Encode/Decode interface, record-layer seal/open, transport
+// rx/tx — plus any declaration annotated //smt:hotroot. Reachability
+// follows direct and interface-dispatch edges; stored-func indirection
+// (the Engine's fn() dispatch) is bridged by rooting the landing points
+// instead, because signature-matching func() would make the whole
+// program hot.
+//
+// An allocation site is exempt when it provably cannot run at steady
+// state:
+//
+//   - it sits inside a guard clause (an if-block ending in return or
+//     panic) — error paths are cold by construction;
+//   - its line (or the line above) carries //smt:coldpath -- <reason>,
+//     the warm-up escape hatch for pool-refill sites;
+//   - its whole function is doc-annotated //smt:coldpath, which also
+//     cuts reachability through it.
+//
+// Recognized allocation kinds: make/new, &composite and slice/map
+// literals, append outside the recognized scratch idiom (appending into
+// field-backed or parameter-backed storage), capturing closures, fmt
+// calls, string<->[]byte conversions, and explicit interface boxing of
+// non-pointer values.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no heap allocation reachable from a steady-state root without //smt:coldpath -- <reason>",
+	Run:  runHotAlloc,
+}
+
+// hotRootSpecs are the steady-state roots, by types.Func full name;
+// interface methods expand to every first-party implementation.
+var hotRootSpecs = []string{
+	"(smt/internal/sim.Action).Run",
+	"(*smt/internal/netsim.Network).Deliver",
+	"(smt/internal/cpusim.Handler).HandlePacket",
+	"(smt/internal/homa.Codec).Encode",
+	"(smt/internal/homa.Codec).Decode",
+	"(*smt/internal/homa.Socket).Send",
+	"(*smt/internal/tcpsim.Conn).SendMessage",
+	"(*smt/internal/ktls.Codec).EncodeStream",
+	"(*smt/internal/ktls.Codec).DecodeStream",
+	"(*smt/internal/tcpls.Codec).EncodeStream",
+	"(*smt/internal/tcpls.Codec).DecodeStream",
+	"(*smt/internal/tlsrec.AEAD).SealRecord",
+	"(*smt/internal/tlsrec.AEAD).OpenRecord",
+	"(*smt/internal/tlsrec.AEAD).OpenRecordTo",
+	"(*smt/internal/tlsrec.AEAD).SealInPlace",
+}
+
+// hotSets computes (once) the hot reachable set and each hot node's
+// originating root.
+func (g *Graph) hotSets() (map[*Node]bool, map[*Node]*Node, []string) {
+	if g.hotReached != nil {
+		return g.hotReached, g.hotOrigin, g.hotUnresolved
+	}
+	roots, unresolved := g.ResolveRoots(hotRootSpecs)
+	live := roots[:0:0]
+	for _, r := range roots {
+		if !r.cold {
+			live = append(live, r)
+		}
+	}
+	follow := func(e Edge) bool {
+		if e.Kind == EdgeFuncValue || e.Callee.cold {
+			return false
+		}
+		if e.Caller.inColdSpan(e.Site) {
+			return false
+		}
+		return !g.coldLine(g.Prog.Fset.Position(e.Site))
+	}
+	g.hotReached, g.hotOrigin = g.Reachable(live, follow)
+	g.hotUnresolved = unresolved
+	return g.hotReached, g.hotOrigin, g.hotUnresolved
+}
+
+func runHotAlloc(pass *Pass) {
+	g := pass.Pkg.prog.CallGraph(fixtureExtra(pass.Pkg))
+	// Malformed //smt:coldpath directives in this package are findings:
+	// a directive that silently fails to parse would silently exempt
+	// nothing (or worse, be believed to).
+	for _, de := range g.directiveErrs {
+		if de.pkg == pass.Pkg.Path {
+			pass.report(Finding{Rule: pass.Analyzer.Name, Pkg: de.pkg, Pos: posString(pass.Pkg.Fset, de.pos), Message: de.msg})
+		}
+	}
+	reached, origin, unresolved := g.hotSets()
+	// A root spec that resolves to nothing means the surface it names
+	// was renamed away — the rule would be silently disarmed. Reported
+	// against the lint package itself, where the spec list lives.
+	if pass.Pkg.Path == "smt/internal/lint" {
+		for _, spec := range unresolved {
+			pass.report(Finding{
+				Rule:    pass.Analyzer.Name,
+				Pkg:     pass.Pkg.Path,
+				Pos:     pass.Pkg.Path,
+				Message: "hot root spec " + spec + " resolves to no function; update hotRootSpecs in hotalloc.go",
+			})
+		}
+	}
+	ha := &hotAlloc{pass: pass, graph: g}
+	for _, n := range g.Nodes {
+		if n.Pkg != pass.Pkg || !reached[n] {
+			continue
+		}
+		ha.scan(n, origin[n])
+	}
+}
+
+type hotAlloc struct {
+	pass  *Pass
+	graph *Graph
+}
+
+// scan reports every allocation site in n's own body (nested literals
+// are separate nodes) that is not inside a cold region.
+func (ha *hotAlloc) scan(n *Node, root *Node) {
+	info := n.Pkg.Info
+	scratch := scratchLocals(n, info)
+	exempt := func(pos token.Pos) bool {
+		return n.inColdSpan(pos) || ha.graph.coldLine(ha.graph.Prog.Fset.Position(pos))
+	}
+	via := funcDisplayName(root)
+	flag := func(pos token.Pos, what string) {
+		if exempt(pos) {
+			return
+		}
+		ha.pass.Report(pos, "%s on the steady-state hot path (reachable from %s); move it off the data path or annotate //smt:coldpath -- <reason>", what, via)
+	}
+	ast.Inspect(n.Body, func(nd ast.Node) bool {
+		switch e := nd.(type) {
+		case *ast.FuncLit:
+			if e == n.Lit {
+				return true
+			}
+			if capt := captured(info, e); capt != "" {
+				flag(e.Pos(), "capturing closure (captures "+capt+") allocates")
+			}
+			return false
+		case *ast.CallExpr:
+			ha.scanCall(e, n, info, scratch, flag)
+		case *ast.UnaryExpr:
+			if _, ok := e.X.(*ast.CompositeLit); ok {
+				flag(e.Pos(), "heap-escaping composite literal")
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[e]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					flag(e.Pos(), "slice/map literal allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanCall classifies one call expression's allocation behavior.
+func (ha *hotAlloc) scanCall(call *ast.CallExpr, n *Node, info *types.Info, scratch map[types.Object]bool, flag func(token.Pos, string)) {
+	fun := ast.Unparen(call.Fun)
+	// Conversions: string<->[]byte copies; boxing into an interface.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		argT := info.Types[call.Args[0]].Type
+		if argT == nil {
+			return
+		}
+		dst, src := tv.Type.Underlying(), argT.Underlying()
+		if isByteSlice(dst) && isString(src) || isString(dst) && isByteSlice(src) {
+			flag(call.Pos(), "string conversion allocates")
+		} else if types.IsInterface(dst) && !types.IsInterface(src) {
+			if _, isPtr := src.(*types.Pointer); !isPtr {
+				flag(call.Pos(), "interface conversion boxes a value")
+			}
+		}
+		return
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				flag(call.Pos(), "make allocates")
+			case "new":
+				flag(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 && !scratchExpr(call.Args[0], info, scratch) {
+					flag(call.Pos(), "append into non-scratch storage allocates")
+				}
+			}
+			return
+		}
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			flag(call.Pos(), "fmt."+fn.Name()+" allocates (boxing + formatting)")
+		}
+	}
+}
+
+// scratchLocals infers the function's scratch slice variables: locals
+// whose storage is rooted in a field, a parameter, or another scratch
+// value — the reuse idiom (out := c.decBuf[:0]; out = append(out, ...))
+// that amortizes to zero allocations.
+func scratchLocals(n *Node, info *types.Info) map[types.Object]bool {
+	scratch := make(map[types.Object]bool)
+	if n.Decl != nil && n.Decl.Type.Params != nil {
+		for _, f := range n.Decl.Type.Params.List {
+			for _, name := range f.Names {
+				if o := info.Defs[name]; o != nil {
+					scratch[o] = true
+				}
+			}
+		}
+		if n.Decl.Recv != nil {
+			for _, f := range n.Decl.Recv.List {
+				for _, name := range f.Names {
+					if o := info.Defs[name]; o != nil {
+						scratch[o] = true
+					}
+				}
+			}
+		}
+	}
+	mark := func(id *ast.Ident, rhs ast.Expr) bool {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || scratch[obj] || !scratchExpr(rhs, info, scratch) {
+			return false
+		}
+		scratch[obj] = true
+		return true
+	}
+	for i := 0; i < 4; i++ { // chains are short; a few rounds saturate
+		changed := false
+		ast.Inspect(n.Body, func(nd ast.Node) bool {
+			if lit, ok := nd.(*ast.FuncLit); ok && lit != n.Lit {
+				return false
+			}
+			switch s := nd.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for j, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && mark(id, s.Rhs[j]) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec: // var out = c.buf[:0] declares scratch too
+				for j, name := range s.Names {
+					if j < len(s.Values) && mark(name, s.Values[j]) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return scratch
+}
+
+// scratchExpr reports whether e denotes storage the function does not
+// own fresh: a struct field, an element of field-backed storage, a
+// parameter, an already-scratch local, or a call rearranging scratch
+// arguments (grow(c.buf, n)).
+func scratchExpr(e ast.Expr, info *types.Info, scratch map[types.Object]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		return obj != nil && scratch[obj]
+	case *ast.SelectorExpr:
+		if s := info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			return true
+		}
+		return false
+	case *ast.SliceExpr:
+		return scratchExpr(x.X, info, scratch)
+	case *ast.IndexExpr:
+		return scratchExpr(x.X, info, scratch)
+	case *ast.StarExpr:
+		return scratchExpr(x.X, info, scratch)
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			if scratchExpr(a, info, scratch) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,28 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONSchema identifies the -json output format; CI consumers pin on
+// it and reject reports they were not written for.
+const JSONSchema = "smtlint/v1"
+
+// jsonReport is the -json output shape: the schema tag plus findings in
+// the canonical (file, line, column, rule) order. An empty run emits an
+// empty array, never null, so `.findings[]` always iterates.
+type jsonReport struct {
+	Schema   string    `json:"schema"`
+	Findings []Finding `json:"findings"`
+}
+
+// WriteJSON emits findings as the stable machine-readable report.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	sorted := make([]Finding, len(findings))
+	copy(sorted, findings)
+	sortFindings(sorted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Schema: JSONSchema, Findings: sorted})
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteJSONGolden pins the -json report byte-for-byte: CI consumers
+// parse this shape, so schema tag, field order, indentation and the
+// canonical finding sort are all part of the contract.
+func TestWriteJSONGolden(t *testing.T) {
+	findings := []Finding{
+		// Deliberately out of order: WriteJSON must sort.
+		{Rule: "panic", Pkg: "smt/internal/y", Pos: "b.go:9:1", Message: "second"},
+		{Rule: "determinism", Pkg: "smt/internal/x", Pos: "a.go:3:4", Message: "first"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want := `{
+  "schema": "smtlint/v1",
+  "findings": [
+    {
+      "rule": "determinism",
+      "pkg": "smt/internal/x",
+      "pos": "a.go:3:4",
+      "message": "first"
+    },
+    {
+      "rule": "panic",
+      "pkg": "smt/internal/y",
+      "pos": "b.go:9:1",
+      "message": "second"
+    }
+  ]
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("WriteJSON output:\n%s\nwant:\n%s", got, want)
+	}
+	// The input slice must not be reordered in place.
+	if findings[0].Rule != "panic" {
+		t.Errorf("WriteJSON mutated its input slice")
+	}
+}
+
+// TestWriteJSONEmpty pins the clean-run shape: an empty array, never
+// null, so `.findings[]` always iterates.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want := `{
+  "schema": "smtlint/v1",
+  "findings": []
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("WriteJSON(nil) = %s, want %s", got, want)
+	}
+}

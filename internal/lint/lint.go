@@ -7,7 +7,7 @@
 // the way production transport stacks gate merges on domain-specific
 // compliance rules rather than reviewer memory.
 //
-// Five analyzers ship (see Analyzers):
+// Nine analyzers ship (see Analyzers):
 //
 //   - determinism: wall-clock reads, global or freshly-seeded RNG
 //     streams, and map iteration are forbidden in internal/ unless
@@ -17,14 +17,31 @@
 //   - panic: library code under internal/ must return errors, not
 //     panic; deliberate invariant guards carry an annotated reason.
 //   - poolowner: a wire.Packet taken from a pool must reach Release or
-//     an ownership-transferring call on every path through the
-//     acquiring function.
+//     a consuming call on every path through the acquiring function;
+//     consumption is inferred interprocedurally from call-graph
+//     summaries, with //smt:owner-transfer as the override for
+//     declarations that have no body to infer from.
 //   - hotclosure: capturing func literals may not be scheduled through
 //     the allocation-free Engine.Post/PostAfter forms — that is what
 //     the pooled PostAction path is for.
 //   - rngplumb: randomness in the load-generation and fabric packages
 //     must flow from the engine-seeded RNG, never a package-level or
 //     locally-constructed source.
+//
+// Four interprocedural rules ride the static call graph (callgraph.go)
+// and its per-function summaries (summary.go):
+//
+//   - hotalloc: no heap allocation reachable from a steady-state root
+//     (event dispatch, delivery, codec, record layer, transport rx/tx)
+//     without an //smt:coldpath -- <reason> annotation.
+//   - keyflow: key material — SessionKeys, handshake secrets, hkdfx
+//     outputs — must not flow into error strings, artifact JSON, or
+//     plaintext wire writes.
+//   - engineconfine: code running under a sim.Engine must not write
+//     package-level state, the aliasing precondition for running
+//     engines in parallel.
+//   - allowunused: an //smt:allow that suppresses nothing is itself a
+//     finding, so suppressions cannot rot in place.
 //
 // A finding is suppressed by annotating the offending line (or the line
 // above it) with a reasoned comment:
@@ -76,6 +93,10 @@ type Pass struct {
 	Pkg      *Package
 	allows   *allowSet
 	report   func(Finding)
+	// ran names every analyzer executing in this run — the allowunused
+	// meta-rule only polices suppressions whose rule actually ran (an
+	// allow for a deselected rule cannot prove itself used).
+	ran map[string]bool
 }
 
 // Report files a finding at pos unless an //smt:allow comment for this
@@ -99,30 +120,35 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 // effect.
 const allowRule = "allow"
 
-// allowEntry is one parsed //smt:allow comment.
+// allowEntry is one rule named by one //smt:allow comment. used flips
+// when the entry actually suppresses a finding, so the allowunused
+// meta-rule can flag suppressions that have rotted.
 type allowEntry struct {
-	rules []string
-	file  string
-	line  int
+	rule string
+	pos  token.Pos
+	used bool
 }
 
 // allowSet indexes every well-formed //smt:allow comment by file and
 // line. An allow covers its own line and the line below it, so both
 // trailing comments and a comment of its own above the statement work.
 type allowSet struct {
-	byLine map[string]map[int][]string // file -> line -> allowed rules
+	byLine  map[string]map[int][]*allowEntry // file -> line -> entries
+	entries []*allowEntry                    // source order, for allowunused
 }
 
 func (a *allowSet) covers(pos token.Position, rule string) bool {
 	lines := a.byLine[pos.Filename]
+	hit := false
 	for _, l := range []int{pos.Line, pos.Line - 1} {
-		for _, r := range lines[l] {
-			if r == rule {
-				return true
+		for _, e := range lines[l] {
+			if e.rule == rule {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }
 
 const allowPrefix = "//smt:allow"
@@ -133,7 +159,7 @@ const allowPrefix = "//smt:allow"
 // findings under the "allow" meta-rule. known lists the valid rule
 // names.
 func parseAllows(pkg *Package, known map[string]bool, report func(Finding)) *allowSet {
-	set := &allowSet{byLine: make(map[string]map[int][]string)}
+	set := &allowSet{byLine: make(map[string]map[int][]*allowEntry)}
 	bad := func(pos token.Pos, msg string) {
 		position := pkg.Fset.Position(pos)
 		report(Finding{
@@ -182,10 +208,14 @@ func parseAllows(pkg *Package, known map[string]bool, report func(Finding)) *all
 				position := pkg.Fset.Position(c.Pos())
 				lines := set.byLine[position.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*allowEntry)
 					set.byLine[position.Filename] = lines
 				}
-				lines[position.Line] = append(lines[position.Line], rules...)
+				for _, r := range rules {
+					e := &allowEntry{rule: r, pos: c.Pos()}
+					lines[position.Line] = append(lines[position.Line], e)
+					set.entries = append(set.entries, e)
+				}
 			}
 		}
 	}
@@ -203,6 +233,8 @@ func sortedKeys(m map[string]bool) []string {
 }
 
 // Analyzers returns the full registered suite in canonical order.
+// AllowUnusedAnalyzer is last by construction: it audits the suppression
+// comments the other rules consulted, so it must run after them.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -210,6 +242,10 @@ func Analyzers() []*Analyzer {
 		PoolOwnerAnalyzer,
 		HotClosureAnalyzer,
 		RNGPlumbAnalyzer,
+		HotAllocAnalyzer,
+		KeyFlowAnalyzer,
+		EngineConfineAnalyzer,
+		AllowUnusedAnalyzer,
 	}
 }
 
@@ -277,9 +313,24 @@ func runPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 		known[a.Name] = true
 	}
 	allows := parseAllows(pkg, known, report)
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg, allows: allows, report: report}
+		ran[a.Name] = true
+	}
+	// allowunused runs strictly last: it inspects which suppressions the
+	// other analyzers consumed.
+	var last *Analyzer
+	for _, a := range analyzers {
+		if a == AllowUnusedAnalyzer {
+			last = a
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg, allows: allows, report: report, ran: ran}
 		a.Run(pass)
+	}
+	if last != nil {
+		pass := &Pass{Analyzer: last, Pkg: pkg, allows: allows, report: report, ran: ran}
+		last.Run(pass)
 	}
 	return findings
 }

@@ -50,9 +50,18 @@ type Program struct {
 	export map[string]string // dependency import path -> export data file
 	gcImp  types.ImporterFrom
 
-	// //smt:owner-transfer annotation index, built lazily by poolowner.
+	// //smt:owner-transfer annotation index (object -> directive
+	// position), built lazily by poolowner.
 	transferOnce sync.Once
-	transferSet  map[types.Object]bool
+	transferSet  map[types.Object]token.Pos
+
+	// Call graph and summaries, built once and shared by the
+	// interprocedural analyzers (see callgraph.go). cgFix memoizes
+	// one-off graphs spanning the program plus a fixture package.
+	cgOnce  sync.Once
+	cgVal   *Graph
+	cgFixMu sync.Mutex
+	cgFix   map[*Package]*Graph
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.

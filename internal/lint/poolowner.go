@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -12,27 +13,31 @@ import (
 // must, on every path through the acquiring function, either
 //
 //   - reach pkt.Release(),
-//   - be handed to a function or interface method whose declaration is
-//     annotated //smt:owner-transfer (the annotation is the statically
-//     checkable form of the "ownership transfers producer → NIC →
-//     network → receiving handler" contract),
+//   - be handed to a call that takes over ownership — inferred
+//     interprocedurally from call-graph summaries (the callee consumes
+//     its packet parameter on every path; see Graph.PacketConsumption),
+//     or declared via //smt:owner-transfer on declarations that have no
+//     body to infer from (interface methods, func-typed fields),
 //   - or escape in a way the next owner is responsible for: returned,
 //     stored into a struct field / slice / map / channel, captured by a
 //     closure, or bound into a composite literal.
 //
-// Passing a packet to an unannotated call does NOT count as a transfer —
-// that is the analyzer's teeth: every function that takes over packets
-// must say so where it is declared. The dynamic complement is
-// PacketPool.OutstandingPackets, which only notices a leak when a test
-// drains that specific world to quiescence.
+// Passing a packet to a call that neither consumes by summary nor
+// carries the annotation does NOT count as a transfer. The annotation
+// is an override, not the mechanism: on a bodied function the summary
+// is authoritative, so an //smt:owner-transfer there is reported as
+// redundant (the inference already proves it) or stale (the body
+// contradicts it) — either way it must come off. The dynamic complement
+// is PacketPool.OutstandingPackets, which only notices a leak when a
+// test drains that specific world to quiescence.
 //
-// The check is intra-procedural and path-sensitive over the AST
-// (if/else, switch, loops, early returns, defers). It is deliberately
-// permissive where it cannot see — aliases and reassignment stop
-// tracking — so every report is a real unconsumed path.
+// The per-acquisition check is path-sensitive over the AST (if/else,
+// switch, loops, early returns, defers). It is deliberately permissive
+// where it cannot see — aliases and reassignment stop tracking — so
+// every report is a real unconsumed path.
 var PoolOwnerAnalyzer = &Analyzer{
 	Name: "poolowner",
-	Doc:  "a pooled wire.Packet must reach Release or an //smt:owner-transfer call on every path of the acquiring function",
+	Doc:  "a pooled wire.Packet must reach Release or a consuming (inferred or //smt:owner-transfer) call on every path of the acquiring function",
 	Run:  runPoolOwner,
 }
 
@@ -48,13 +53,13 @@ var packetSources = map[string]bool{
 	"(*smt/internal/nicsim.NIC).AcquirePacket":     true,
 }
 
-// transferFuncs returns the set of function objects annotated
+// transferFuncs returns the function objects annotated
 // //smt:owner-transfer anywhere in the program (plus extra, for fixture
-// packages that are not part of the program's package list). Built once
-// per program.
-func (p *Program) transferFuncs(extra *Package) map[types.Object]bool {
+// packages that are not part of the program's package list), mapped to
+// the directive's position. Built once per program.
+func (p *Program) transferFuncs(extra *Package) map[types.Object]token.Pos {
 	p.transferOnce.Do(func() {
-		p.transferSet = make(map[types.Object]bool)
+		p.transferSet = make(map[types.Object]token.Pos)
 		for _, pkg := range p.Packages {
 			collectTransfers(pkg, p.transferSet)
 		}
@@ -62,16 +67,16 @@ func (p *Program) transferFuncs(extra *Package) map[types.Object]bool {
 	if extra == nil {
 		return p.transferSet
 	}
-	merged := make(map[types.Object]bool, len(p.transferSet)+4)
-	//smt:allow determinism -- set union; map order never observed
-	for o := range p.transferSet {
-		merged[o] = true
+	merged := make(map[types.Object]token.Pos, len(p.transferSet)+4)
+	//smt:allow determinism -- map union; map order never observed
+	for o, pos := range p.transferSet {
+		merged[o] = pos
 	}
 	collectTransfers(extra, merged)
 	return merged
 }
 
-func collectTransfers(pkg *Package, out map[types.Object]bool) {
+func collectTransfers(pkg *Package, out map[types.Object]token.Pos) {
 	mark := func(doc *ast.CommentGroup, name *ast.Ident) {
 		if doc == nil || name == nil {
 			return
@@ -79,7 +84,7 @@ func collectTransfers(pkg *Package, out map[types.Object]bool) {
 		for _, c := range doc.List {
 			if strings.HasPrefix(c.Text, ownerTransferDirective) {
 				if obj := pkg.Info.Defs[name]; obj != nil {
-					out[obj] = true
+					out[obj] = c.Pos()
 				}
 			}
 		}
@@ -110,7 +115,9 @@ func collectTransfers(pkg *Package, out map[types.Object]bool) {
 
 func runPoolOwner(pass *Pass) {
 	transfers := pass.Pkg.prog.transferFuncs(fixtureExtra(pass.Pkg))
-	po := &poolOwner{pass: pass, info: pass.Pkg.Info, transfers: transfers}
+	g := pass.Pkg.prog.CallGraph(fixtureExtra(pass.Pkg))
+	consume := g.PacketConsumption()
+	po := &poolOwner{pass: pass, info: pass.Pkg.Info, transfers: transfers, consume: consume}
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -123,6 +130,30 @@ func runPoolOwner(pass *Pass) {
 			}
 			return true
 		})
+	}
+	reportAnnotationDrift(pass, g, transfers, consume)
+}
+
+// reportAnnotationDrift audits this package's //smt:owner-transfer
+// annotations against the inferred summaries. On a bodied function the
+// summary is authoritative: an annotation the inference already proves
+// is redundant, and one the body contradicts is stale — both must come
+// off, keeping //smt:owner-transfer reserved for declarations with no
+// body to infer from.
+func reportAnnotationDrift(pass *Pass, g *Graph, transfers map[types.Object]token.Pos, consume map[*types.Func]uint64) {
+	for _, n := range g.Nodes {
+		if n.Fn == nil || n.Pkg != pass.Pkg {
+			continue
+		}
+		pos, annotated := transfers[n.Fn]
+		if !annotated {
+			continue
+		}
+		if consume[n.Fn] != 0 {
+			pass.Report(pos, "redundant //smt:owner-transfer on %s: consumption is inferred from the body; drop the annotation", n.Fn.Name())
+		} else {
+			pass.Report(pos, "stale //smt:owner-transfer on %s: the body does not consume its packet parameter on every path; fix the body or drop the annotation", n.Fn.Name())
+		}
 	}
 }
 
@@ -148,9 +179,13 @@ const (
 )
 
 type poolOwner struct {
-	pass      *Pass
+	pass      *Pass // nil during summary computation (no reporting there)
 	info      *types.Info
-	transfers map[types.Object]bool
+	transfers map[types.Object]token.Pos
+	// consume maps bodied functions to the bitmask of packet parameters
+	// they are proved to consume (Graph.PacketConsumption) — the
+	// interprocedural half of isTransfer/consumes.
+	consume map[*types.Func]uint64
 }
 
 // checkUnit finds pool-source calls directly inside one function body
@@ -420,6 +455,18 @@ func (po *poolOwner) consumes(expr ast.Expr, x types.Object) bool {
 					}
 				}
 			}
+			// Inferred transfer: the callee's summary proves it consumes
+			// the packet parameter x is passed as.
+			if fn := po.calleeOf(n.Fun); fn != nil {
+				if mask := po.consume[fn]; mask != 0 {
+					for i, a := range n.Args {
+						if i < 64 && mask&(uint64(1)<<i) != 0 && po.usesVar(a, x) {
+							found = true
+							return false
+						}
+					}
+				}
+			}
 			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
 				if _, isBuiltin := po.info.Uses[id].(*types.Builtin); isBuiltin {
 					for _, a := range n.Args[1:] {
@@ -454,13 +501,30 @@ func (po *poolOwner) consumesCond(cond ast.Expr, x types.Object) bool {
 func (po *poolOwner) isTransfer(fun ast.Expr) bool {
 	switch f := fun.(type) {
 	case *ast.Ident:
-		return po.transfers[po.objOf(f)]
+		_, ok := po.transfers[po.objOf(f)]
+		return ok
 	case *ast.SelectorExpr:
-		if obj := po.info.Uses[f.Sel]; obj != nil && po.transfers[obj] {
-			return true
+		if obj := po.info.Uses[f.Sel]; obj != nil {
+			if _, ok := po.transfers[obj]; ok {
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// calleeOf resolves a call target to its *types.Func, for summary
+// lookups.
+func (po *poolOwner) calleeOf(fun ast.Expr) *types.Func {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := po.objOf(f).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := po.info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
 }
 
 func (po *poolOwner) objOf(id *ast.Ident) types.Object {

@@ -61,6 +61,12 @@ var fixtureSpecs = []struct {
 	// allowfix runs the determinism analyzer so that each malformed
 	// suppression is paired with the finding it failed to suppress.
 	{"allowfix", "smt/internal/lintfix/allowfix", "determinism"},
+	{"hotalloc", "smt/internal/lintfix/hotalloc", "hotalloc"},
+	{"keyflow", "smt/internal/lintfix/keyflow", "keyflow"},
+	{"engineconfine", "smt/internal/lintfix/engineconfine", "engineconfine"},
+	// allowunused needs a partner rule whose findings mark suppressions
+	// used (or not); determinism plays that part.
+	{"allowunused", "smt/internal/lintfix/allowunused", "determinism,allowunused"},
 }
 
 // TestFixtures checks every analyzer against its fixture package: each
@@ -151,10 +157,11 @@ func TestScopeBoundaries(t *testing.T) {
 	}
 }
 
-// TestAnalyzersRegistry pins the suite: five uniquely named, documented
-// rules, resolvable one by one and as "all".
+// TestAnalyzersRegistry pins the suite: nine uniquely named, documented
+// rules, resolvable one by one and as "all". allowunused is last by
+// construction (it audits what the others consumed).
 func TestAnalyzersRegistry(t *testing.T) {
-	want := []string{"determinism", "panic", "poolowner", "hotclosure", "rngplumb"}
+	want := []string{"determinism", "panic", "poolowner", "hotclosure", "rngplumb", "hotalloc", "keyflow", "engineconfine", "allowunused"}
 	all := Analyzers()
 	if len(all) != len(want) {
 		t.Fatalf("Analyzers() = %d rules, want %d", len(all), len(want))

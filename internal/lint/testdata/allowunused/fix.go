@@ -1,0 +1,32 @@
+// Package allowunusedfix is analysis-only fixture data for the
+// allowunused meta-rule: a well-formed //smt:allow that suppresses
+// nothing is itself a finding, so suppressions cannot rot in place
+// after the code under them is fixed. repo_test.go runs the
+// determinism analyzer alongside it, so used and unused suppressions
+// sit side by side.
+package allowunusedfix
+
+import "time"
+
+// Sink absorbs values so the fixture type-checks.
+var Sink any
+
+// suppressed is the negative case: the allow matches a real finding on
+// the line below it, so the meta-rule stays quiet.
+func suppressed() {
+	//smt:allow determinism -- fixture: deliberate wall-clock read
+	Sink = time.Now()
+}
+
+// stale carries a suppression for a violation that is no longer there.
+func stale() {
+	//smt:allow determinism -- fixture: nothing here violates determinism // want "matches no finding"
+	Sink = 42
+}
+
+// offRule names a rule that is not part of this fixture's run; the
+// meta-rule only polices rules that actually ran, so no finding.
+func offRule() {
+	//smt:allow panic -- fixture: the panic analyzer is deselected in this run
+	Sink = 43
+}

@@ -1,0 +1,56 @@
+// Package cgfix exercises the call-graph builder directly (see
+// callgraph_test.go): direct calls, conservative interface dispatch
+// over the first-party class hierarchy, and stored func values / method
+// values bridged by signature matching. It carries no want comments —
+// the test asserts must- and must-not-edges on the Graph itself.
+package cgfix
+
+// Ringer has two first-party implementations with different receiver
+// forms; a call through the interface must edge to both.
+type Ringer interface{ Ring() }
+
+type Bell struct{}
+
+func (Bell) Ring() {}
+
+type Horn struct{}
+
+func (*Horn) Ring() {}
+
+// Silent does not implement Ringer; its method must never receive an
+// interface-dispatch edge.
+type Silent struct{}
+
+func (Silent) Honk() {}
+
+func helper() {}
+
+func takesInt(int) {}
+
+func direct() { helper() }
+
+func viaInterface(r Ringer) { r.Ring() }
+
+func caller() { viaInterface(Bell{}) }
+
+// stored invokes a func-typed variable: the builder bridges it with
+// EdgeFuncValue edges to every address-taken function of identical
+// signature.
+func stored() {
+	f := helper
+	f()
+}
+
+// methodValue takes a method value's address and invokes it the same
+// way.
+func methodValue(b Bell) {
+	f := b.Ring
+	f()
+}
+
+// mismatch address-takes a function of a different signature; stored()
+// and methodValue() must not edge to it.
+func mismatch() {
+	f := takesInt
+	f(1)
+}

@@ -1,0 +1,85 @@
+// Package hotfix is analysis-only fixture data for the hotalloc
+// analyzer: a synthetic steady-state root (declared with //smt:hotroot,
+// the same mechanism the real roots use under the hood) plus one
+// example of each recognized allocation kind, each exemption form, and
+// the directive grammar's failure mode.
+package hotfix
+
+import "fmt"
+
+// Sink absorbs values so the fixture type-checks.
+var Sink any
+
+type state struct {
+	buf []byte
+}
+
+type msg struct{ n int }
+
+// pump is this fixture's steady-state root: everything reachable from
+// it over direct and interface edges is hot.
+//
+//smt:hotroot
+func pump(s *state, m *msg, data []byte) {
+	Sink = make([]byte, m.n)      // want "make allocates"
+	Sink = new(msg)               // want "new allocates"
+	Sink = &msg{n: 1}             // want "heap-escaping composite literal"
+	Sink = []int{1, 2}            // want "slice/map literal allocates"
+	Sink = fmt.Sprintf("%d", m.n) // want "fmt.Sprintf allocates"
+	Sink = string(data)           // want "string conversion allocates"
+	Sink = any(*m)                // want "interface conversion boxes a value"
+
+	var fresh []int
+	fresh = append(fresh, 1) // want "append into non-scratch storage"
+	Sink = fresh
+
+	// The scratch idiom: storage rooted in a field amortizes to zero
+	// allocations, so appending into it is allowed.
+	out := s.buf[:0]
+	out = append(out, data...)
+	s.buf = out
+
+	fn := func() { m.n++ } // want "capturing closure"
+	fn()
+
+	if m.n < 0 {
+		// A guard clause ending in panic or return is cold by
+		// construction: error paths never run at steady state.
+		Sink = make([]byte, 8)
+		panic("hotfix: negative length")
+	}
+
+	//smt:coldpath -- fixture: the reasoned line exemption covers the site below
+	Sink = make([]byte, 16)
+
+	//smt:coldpath // want "needs a reason"
+	Sink = make([]byte, 32) // want "make allocates"
+
+	helper(m)
+	coldHelper(m)
+}
+
+// helper is hot only transitively, through its caller.
+func helper(m *msg) {
+	Sink = new(msg) // want "new allocates"
+}
+
+// coldHelper is doc-annotated cold: nothing inside it is flagged, and
+// reachability does not pass through it to deepHelper.
+//
+//smt:coldpath fixture: explicitly off the steady-state path
+func coldHelper(m *msg) {
+	Sink = new(msg)
+	deepHelper(m)
+}
+
+// deepHelper is reachable only through the cold coldHelper, so its
+// allocation is not hot.
+func deepHelper(m *msg) {
+	Sink = new(msg)
+}
+
+// offPath is not reachable from any root: it may allocate freely.
+func offPath() []byte {
+	return make([]byte, 64)
+}

@@ -4,19 +4,51 @@ package poolfix
 
 import "smt/internal/wire"
 
-// transfer takes over the packet: the annotation is what the analyzer
-// honors.
-//
-//smt:owner-transfer
-func transfer(p *wire.Packet) {}
+// Taker consumes packets handed to it. Interface methods have no body
+// to infer a summary from, so //smt:owner-transfer is the declaration
+// of record — the one remaining legitimate use of the annotation.
+type Taker interface {
+	//smt:owner-transfer
+	Consume(p *wire.Packet)
+}
 
-// plainCall is NOT annotated, so passing a packet to it does not count
-// as a transfer — the analyzer's teeth.
+// plainCall is neither annotated nor consuming, so passing a packet to
+// it does not count as a transfer — the analyzer's teeth.
 func plainCall(p *wire.Packet) {}
 
 type holder struct {
 	pkt *wire.Packet
 }
+
+// stash consumes its packet on every path (the field store hands
+// ownership to the holder). No annotation: the call-graph summary
+// proves it, and call sites get credit interprocedurally.
+func stash(h *holder, p *wire.Packet) {
+	h.pkt = p
+}
+
+// stashMaybe consumes only on one path, so its summary proves nothing
+// and call sites must not get credit.
+func stashMaybe(h *holder, p *wire.Packet, cond bool) {
+	if cond {
+		h.pkt = p
+	}
+}
+
+// annotatedRedundant consumes on every path AND carries the annotation;
+// on a bodied function the summary is authoritative, so the annotation
+// is flagged for removal.
+//
+//smt:owner-transfer // want "redundant //smt:owner-transfer on annotatedRedundant"
+func annotatedRedundant(h *holder, p *wire.Packet) {
+	h.pkt = p
+}
+
+// annotatedStale claims a transfer its body contradicts: the packet is
+// dropped on the floor. The annotation must not be believed.
+//
+//smt:owner-transfer // want "stale //smt:owner-transfer on annotatedStale"
+func annotatedStale(p *wire.Packet) {}
 
 func leakOnEarlyReturn(pool *wire.PacketPool, cond bool) {
 	pkt := pool.Get() // want "may leak"
@@ -29,6 +61,11 @@ func leakOnEarlyReturn(pool *wire.PacketPool, cond bool) {
 func leakViaPlainCallee(pool *wire.PacketPool) {
 	pkt := pool.Get() // want "may leak"
 	plainCall(pkt)
+}
+
+func leakViaPartialConsumer(pool *wire.PacketPool, h *holder, cond bool) {
+	pkt := pool.Get() // want "may leak"
+	stashMaybe(h, pkt, cond)
 }
 
 func leakOneBranch(pool *wire.PacketPool, cond bool) {
@@ -58,9 +95,14 @@ func cleanDefer(pool *wire.PacketPool) {
 	plainCall(pkt)
 }
 
-func cleanTransfer(pool *wire.PacketPool) {
+func cleanInterfaceTransfer(pool *wire.PacketPool, t Taker) {
 	pkt := pool.Get()
-	transfer(pkt)
+	t.Consume(pkt)
+}
+
+func cleanInferredTransfer(pool *wire.PacketPool, h *holder) {
+	pkt := pool.Get()
+	stash(h, pkt)
 }
 
 func cleanReturn(pool *wire.PacketPool) *wire.Packet {

@@ -199,6 +199,7 @@ func (n *Network) getHop() *hopEvent {
 		n.hopFree = n.hopFree[:l-1]
 		return h
 	}
+	//smt:coldpath -- hopEvent free-list refill; steady state reuses pooled events
 	return &hopEvent{n: n}
 }
 

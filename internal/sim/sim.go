@@ -262,6 +262,7 @@ func (e *Engine) schedule(at Time, fn func(), act Action) *event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
+		//smt:coldpath -- event free-list refill; steady state reuses pooled events
 		ev = &event{}
 	}
 	ev.at = at

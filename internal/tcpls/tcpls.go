@@ -77,6 +77,7 @@ func (c *Codec) EncodeStream(data []byte) ([]tcpsim.Chunk, sim.Time) {
 		// Protected payload: stream header ‖ app bytes (codec scratch —
 		// SealRecord copies it into the record buffer).
 		if cap(c.innerBuf) < streamHeaderLen+n {
+			//smt:coldpath -- innerBuf capacity growth only; steady state reuses the scratch buffer
 			c.innerBuf = make([]byte, streamHeaderLen+n)
 		}
 		inner := c.innerBuf[:streamHeaderLen+n]
@@ -92,6 +93,7 @@ func (c *Codec) EncodeStream(data []byte) ([]tcpsim.Chunk, sim.Time) {
 		}
 		cpu += c.cm.CryptoSW(len(sealed)) + c.cm.TCPLSRecord
 		c.RecordsSealed++
+		//smt:allow hotalloc -- per-record chunk list handed to the stream; the comparison stack's measured cost
 		chunks = append(chunks, tcpsim.Chunk{Bytes: sealed})
 	}
 	return chunks, cpu
@@ -106,6 +108,7 @@ func (c *Codec) DecodeStream(data []byte) ([]byte, sim.Time, error) {
 		cpu sim.Time
 		pos int
 	)
+	//smt:allow hotalloc -- per-call compaction defer; userspace TLS copying is the cost being measured
 	defer func() {
 		c.rxBuf = append(c.rxBuf[:0], c.rxBuf[pos:]...)
 		c.outBuf = out[:0]

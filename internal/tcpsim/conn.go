@@ -152,6 +152,7 @@ func (c *Conn) getTxBuf() *txBuf {
 
 // framed prepends the 4-byte length prefix RPC framing.
 func framed(msg []byte) []byte {
+	//smt:allow hotalloc -- per-message framing buffer models the syscall copy
 	out := make([]byte, 4+len(msg))
 	binary.BigEndian.PutUint32(out, uint32(len(msg)))
 	copy(out[4:], msg)
@@ -174,6 +175,7 @@ func (c *Conn) SendMessage(msg []byte) {
 	cm := c.host.CM
 	data := framed(msg)
 	sendCost := cm.Syscall + cm.Copy(len(data)) + cm.TCPPerConn*sim.Time(c.host.StreamConns)
+	//smt:allow hotalloc -- per-message send closure; counted in the steady-state alloc budget
 	c.host.RunApp(c.appThread, sendCost, func() {
 		chunks, cpu := c.codec.EncodeStream(data)
 		c.host.RunApp(c.appThread, cpu+cm.TCPTxSegment, func() {
@@ -374,6 +376,7 @@ func (c *Conn) retransmitFrom(seq int64) {
 			continue
 		}
 		cm := c.host.CM
+		//smt:allow hotalloc -- per-retransmission closure; loss recovery is off the lossless steady-state path
 		c.host.RunSoftirq(c.core, cm.TCPTxSegment, func() {
 			if len(tc.chunk.Records) > 0 {
 				// Offloaded records re-seal from the retained plaintext
@@ -465,6 +468,7 @@ func (c *Conn) handleData(pkt *wire.Packet) {
 		}
 	case seq > c.rcvNxt:
 		if _, dup := c.ooo[seq]; !dup {
+			//smt:allow hotalloc -- out-of-order segment copy; runs only under loss or reordering
 			c.ooo[seq] = append([]byte(nil), data...)
 		}
 		c.sendAck() // immediate dupack
@@ -494,6 +498,7 @@ func (c *Conn) sendAck() {
 	c.Stats.AcksSent++
 	cm := c.host.CM
 	if c.sendAckFn == nil {
+		//smt:coldpath -- one ACK closure per connection, cached on first use
 		c.sendAckFn = func() {
 			pkt := c.host.NIC.AcquirePacket()
 			pkt.IP = wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: c.host.Addr, Dst: c.peerAddr}

@@ -96,6 +96,10 @@ func withDefaults(cfg Config) Config {
 	return cfg
 }
 
+// newConn builds the per-connection state at establishment; it runs
+// once per dialed connection, never per message.
+//
+//smt:coldpath connection establishment
 func newConn(host *cpusim.Host, cfg Config, codec Codec, localPort uint16, peerAddr uint32, peerPort uint16, appThread int) *Conn {
 	c := &Conn{
 		host: host, cfg: cfg, codec: codec,
@@ -115,7 +119,10 @@ func newConn(host *cpusim.Host, cfg Config, codec Codec, localPort uint16, peerA
 	return c
 }
 
-// sendCtl emits a SYN (kind 1) or SYN-ACK (kind 2).
+// sendCtl emits a SYN (kind 1) or SYN-ACK (kind 2); it runs only while
+// a connection is being established.
+//
+//smt:coldpath handshake control
 func (e *Endpoint) sendCtl(c *Conn, kind uint32) {
 	pkt := e.host.NIC.AcquirePacket()
 	pkt.IP = wire.IPv4Header{TTL: 64, Protocol: wire.ProtoTCP, Src: e.host.Addr, Dst: c.peerAddr}

@@ -181,6 +181,7 @@ func (pp *PacketPool) Get() *Packet {
 		pp.free = pp.free[:n-1]
 		p.pooled = false
 	} else {
+		//smt:coldpath -- packet-pool refill; steady state reuses released packets
 		p = &Packet{pool: pp}
 	}
 	pp.outstanding++
