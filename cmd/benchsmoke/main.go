@@ -8,7 +8,10 @@
 //
 // Passing -compare with a previous artifact adds per-benchmark baseline
 // numbers and wall-clock deltas, which is how a PR records its
-// improvement over main.
+// improvement over main. Passing -count N runs every benchmark N times
+// and reports per-benchmark medians: single-shot -benchtime 1x numbers
+// jitter by tens of percent on shared CI machines, and the median of
+// even three runs is stable enough to gate regressions on.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -27,7 +31,7 @@ import (
 
 // defaultBench is the key-benchmark set: the two end-to-end sweeps the
 // perf acceptance tracks plus the allocation-sensitive micro paths.
-const defaultBench = "BenchmarkFig6UnloadedRTT|BenchmarkLoadSweep|BenchmarkCodecEncode|BenchmarkCodecEncodeHW|BenchmarkCodecDecode|BenchmarkEngineScheduleCancel|BenchmarkEngineScheduleRun"
+const defaultBench = "BenchmarkFig6UnloadedRTT|BenchmarkLoadSweep|BenchmarkCodecEncode|BenchmarkCodecEncodeHW|BenchmarkCodecDecode|BenchmarkEngineScheduleCancel|BenchmarkEngineScheduleRun|BenchmarkEngineDeepPending|BenchmarkHeapDeepPending"
 
 // Artifact is the emitted document.
 type Artifact struct {
@@ -36,6 +40,7 @@ type Artifact struct {
 	GoVersion string      `json:"go_version"`
 	CreatedAt string      `json:"created_at"`
 	BenchTime string      `json:"benchtime"`
+	Count     int         `json:"count,omitempty"`   // runs per benchmark; values are medians when > 1
 	Compare   string      `json:"compare,omitempty"` // path of the baseline artifact, if any
 	Benchs    []Benchmark `json:"benchmarks"`
 }
@@ -59,10 +64,18 @@ func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	pkgs := flag.String("pkgs", "./...", "comma-separated packages to benchmark")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	count := flag.Int("count", 1, "runs per benchmark; the artifact records per-benchmark medians")
 	compare := flag.String("compare", "", "previous artifact to diff against")
 	flag.Parse()
+	if *count < 1 {
+		fmt.Fprintln(os.Stderr, "benchsmoke: -count must be >= 1")
+		os.Exit(1)
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}
+	if *count > 1 {
+		args = append(args, fmt.Sprintf("-count=%d", *count))
+	}
 	args = append(args, strings.Split(*pkgs, ",")...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -78,7 +91,8 @@ func main() {
 		GoVersion: runtime.Version(),
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 		BenchTime: *benchtime,
-		Benchs:    parse(outBytes),
+		Count:     *count,
+		Benchs:    medians(parse(outBytes)),
 	}
 	if len(a.Benchs) == 0 {
 		fmt.Fprintln(os.Stderr, "benchsmoke: no benchmark lines matched; check -bench/-pkgs")
@@ -164,6 +178,46 @@ func parse(out []byte) []Benchmark {
 		}
 	}
 	return benchs
+}
+
+// medians collapses repeated result lines (-count > 1) into one entry
+// per benchmark holding the per-metric median, in first-appearance
+// order. With a single run per benchmark it is the identity.
+func medians(benchs []Benchmark) []Benchmark {
+	type key struct{ name, pkg string }
+	groups := make(map[key][]Benchmark, len(benchs))
+	var order []key
+	for _, b := range benchs {
+		k := key{b.Name, b.Pkg}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		m := g[0]
+		m.NsPerOp = median(g, func(b Benchmark) float64 { return b.NsPerOp })
+		m.BytesPerOp = median(g, func(b Benchmark) float64 { return b.BytesPerOp })
+		m.AllocsPerOp = median(g, func(b Benchmark) float64 { return b.AllocsPerOp })
+		m.MBPerS = median(g, func(b Benchmark) float64 { return b.MBPerS })
+		out = append(out, m)
+	}
+	return out
+}
+
+func median(g []Benchmark, get func(Benchmark) float64) float64 {
+	vs := make([]float64, len(g))
+	for i, b := range g {
+		vs[i] = get(b)
+	}
+	sort.Float64s(vs)
+	if n := len(vs); n%2 == 1 {
+		return vs[n/2]
+	} else {
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
 }
 
 // applyBaseline fills Baseline/Delta fields from a previous artifact.

@@ -72,12 +72,29 @@ type LoadSweepRow struct {
 	N      uint64
 }
 
-// loadSweepTopology: M clients + 1 server behind a shallow-buffered
+// loadSweepParams is the fabric shape one sweep point runs on. The
+// default sweep and the 64-host bigworld point share every line of the
+// measurement below; only these numbers differ.
+type loadSweepParams struct {
+	clients int // client hosts spreading the offered load
+	streams int // stream fan-out per client
+	buffer  int // switch shared buffer bytes
+}
+
+func defaultLoadSweepParams() loadSweepParams {
+	return loadSweepParams{
+		clients: LoadSweepClients,
+		streams: LoadSweepStreams,
+		buffer:  LoadSweepBufferBytes,
+	}
+}
+
+// topology: M clients + 1 server behind a shallow-buffered
 // output-queued switch, as incast uses.
-func loadSweepTopology() netsim.Topology {
+func (p loadSweepParams) topology() netsim.Topology {
 	return netsim.Topology{
-		Hosts:  LoadSweepClients + 1,
-		Switch: &netsim.SwitchConfig{BufferBytes: LoadSweepBufferBytes},
+		Hosts:  p.clients + 1,
+		Switch: &netsim.SwitchConfig{BufferBytes: p.buffer},
 	}
 }
 
@@ -85,12 +102,12 @@ func loadSweepTopology() netsim.Topology {
 // size in the mix's support, the mean completion time of a single
 // closed-loop stream (one request outstanding) on an otherwise idle
 // instance of the same fabric and system wiring.
-func measureUnloadedIdeal(sys FabricSystem, dist workload.Dist, seed int64) (map[int]float64, error) {
-	w := NewFabricWorld(seed, loadSweepTopology())
+func measureUnloadedIdeal(sys FabricSystem, dist workload.Dist, seed int64, p loadSweepParams) (map[int]float64, error) {
+	w := NewFabricWorld(seed, p.topology())
 	cl := w.ClientHosts()
 	var loop *rpc.ClosedLoop
 	issue, err := sys.Setup(w, cl, w.Server,
-		FabricConfig{StreamsPerClient: LoadSweepStreams, MTU: mtuOrDefault(0)},
+		FabricConfig{StreamsPerClient: p.streams, MTU: mtuOrDefault(0)},
 		func(client int, reqID uint64) {
 			if loop != nil {
 				loop.Done(reqID)
@@ -133,23 +150,29 @@ func measureUnloadedIdeal(sys FabricSystem, dist workload.Dist, seed int64) (map
 // load × link rate from LoadSweepClients hosts and report goodput and
 // slowdown quantiles.
 func MeasureLoadSweep(sys FabricSystem, load float64, seed int64) (LoadSweepRow, error) {
+	return measureLoadSweepOn(sys, load, seed, defaultLoadSweepParams())
+}
+
+// measureLoadSweepOn is the parameterized sweep point the default grid
+// and bigworld share.
+func measureLoadSweepOn(sys FabricSystem, load float64, seed int64, p loadSweepParams) (LoadSweepRow, error) {
 	dist := LoadSweepDist()
-	ideal, err := measureUnloadedIdeal(sys, dist, seed)
+	ideal, err := measureUnloadedIdeal(sys, dist, seed, p)
 	if err != nil {
 		return LoadSweepRow{}, err
 	}
 
-	w := NewFabricWorld(seed, loadSweepTopology())
+	w := NewFabricWorld(seed, p.topology())
 	cl := w.ClientHosts()
 	var gen *workload.OpenLoop
 	issue, err := sys.Setup(w, cl, w.Server,
-		FabricConfig{StreamsPerClient: LoadSweepStreams, MTU: mtuOrDefault(0)},
+		FabricConfig{StreamsPerClient: p.streams, MTU: mtuOrDefault(0)},
 		func(client int, reqID uint64) { gen.Done(reqID) })
 	if err != nil {
 		return LoadSweepRow{}, err
 	}
 	rate := load * w.CM.LinkGbps * 1e9 / 8 / dist.Mean() // messages/second
-	gen, err = workload.NewOpenLoop(w.Eng, dist, len(cl), LoadSweepStreams, rate,
+	gen, err = workload.NewOpenLoop(w.Eng, dist, len(cl), p.streams, rate,
 		func(client, stream int, reqID uint64, size int) {
 			issue(client, stream, reqID, size, rpc.MinSize)
 		})

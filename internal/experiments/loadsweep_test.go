@@ -125,7 +125,7 @@ func TestMeasureUnloadedIdeal(t *testing.T) {
 	}
 	t.Parallel()
 	dist := LoadSweepDist()
-	ideal := must(measureUnloadedIdeal(MustBuildFabric(mustStack("Homa")), dist, 11010))
+	ideal := must(measureUnloadedIdeal(MustBuildFabric(mustStack("Homa")), dist, 11010, defaultLoadSweepParams()))
 	if len(ideal) != len(dist.Sizes()) {
 		t.Fatalf("ideal covers %d sizes, support has %d", len(ideal), len(dist.Sizes()))
 	}

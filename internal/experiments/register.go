@@ -349,6 +349,34 @@ func init() {
 		return specs
 	})
 
+	register("bigworld", "64-host single-switch loadsweep smoke: timer-churn scale point on the road to 256 hosts", func() []pointSpec {
+		var specs []pointSpec
+		for _, stack := range BigWorldLineup() {
+			specs = append(specs, pointSpec{
+				Key:  fmt.Sprintf("sys=%s/hosts=%d/load=%d", stack.Name, BigWorldHosts, LoadSweepPercent(BigWorldLoad)),
+				Seed: BigWorldSeed,
+				Labels: Labels{
+					"system": stack.Name,
+					"hosts":  itoa(BigWorldHosts),
+					"load":   fmt.Sprintf("%.2f", BigWorldLoad),
+					"dist":   LoadSweepDist().Name(),
+				},
+				Run: func() (Values, error) {
+					sys, err := BuildFabric(stack)
+					if err != nil {
+						return nil, err
+					}
+					r, err := MeasureBigWorld(sys, BigWorldSeed)
+					if err != nil {
+						return nil, err
+					}
+					return loadSweepValues(r), nil
+				},
+			})
+		}
+		return specs
+	})
+
 	register("churn", "live connection churn: dialed key exchanges at a swept arrival rate — setup latency, handshake CPU, dcdns ticket hit rate", func() []pointSpec {
 		var specs []pointSpec
 		for _, rate := range ChurnRates {

@@ -7,8 +7,8 @@ import (
 
 // expectedExperiments is the full catalogue every build must register.
 var expectedExperiments = []string{
-	"chaos", "churn", "cpuusage", "fig10", "fig11", "fig12", "fig2",
-	"fig5", "fig6", "fig7", "fig7mtu", "fig8", "fig9", "incast",
+	"bigworld", "chaos", "churn", "cpuusage", "fig10", "fig11", "fig12",
+	"fig2", "fig5", "fig6", "fig7", "fig7mtu", "fig8", "fig9", "incast",
 	"loadsweep", "multiclient", "table1", "table2",
 }
 

@@ -83,3 +83,24 @@ func deepHelper(m *msg) {
 func offPath() []byte {
 	return make([]byte, 64)
 }
+
+// ring is the fixture's stand-in for the sim engine's timing wheel: the
+// hotroot directive on a pointer-receiver method, which is how the real
+// wheel's advance/cascade/pop path is rooted.
+type ring struct {
+	level int
+}
+
+// advance is a method-receiver steady-state root.
+//
+//smt:hotroot
+func (r *ring) advance(m *msg) {
+	Sink = &msg{n: r.level} // want "heap-escaping composite literal"
+	r.cascade(m)
+}
+
+// cascade is hot only transitively, through the method root above —
+// reachability must cross method-to-method call edges.
+func (r *ring) cascade(m *msg) {
+	Sink = new(msg) // want "new allocates"
+}

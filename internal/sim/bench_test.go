@@ -30,7 +30,7 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineDeepHeap measures schedule+pop against a heap holding
+// BenchmarkEngineDeepHeap measures schedule+pop against a queue holding
 // many pending events (the loadsweep regime).
 func BenchmarkEngineDeepHeap(b *testing.B) {
 	e := NewEngine(1)
@@ -44,4 +44,86 @@ func BenchmarkEngineDeepHeap(b *testing.B) {
 		e.PostAfter(Time(i%1000), fn)
 		e.step()
 	}
+}
+
+// deepPendingDepths are the backlog sizes the wheel-vs-heap comparison
+// runs at. 1M pending timers is the RTO regime a 256-host world implies.
+var deepPendingDepths = []struct {
+	name string
+	n    int
+}{{"10k", 10_000}, {"100k", 100_000}, {"1M", 1_000_000}}
+
+// deepPendingBatch is the number of pop+schedule churn cycles measured
+// per benchmark iteration. Batching keeps even a single-iteration run
+// (benchsmoke's benchtime=1x) long enough to measure meaningfully.
+const deepPendingBatch = 1000
+
+// BenchmarkEngineDeepPending measures steady-state timer churn at a
+// constant backlog: n events spread over a horizon, then each measured
+// op pops the earliest and schedules a replacement at the back — the
+// self-sustaining pattern that holds depth and spacing constant
+// indefinitely. Allocs/op must be 0 (pooled events). Reported ns/op is
+// per pop+schedule pair.
+func BenchmarkEngineDeepPending(b *testing.B) {
+	for _, c := range deepPendingDepths {
+		b.Run(c.name, func(b *testing.B) {
+			e := NewEngine(1)
+			fn := func() {}
+			horizon := Time(c.n) * 100 // ~100 ns between events at depth
+			for i := 0; i < c.n; i++ {
+				e.Post(horizon*Time(i)/Time(c.n), fn)
+			}
+			// Warm one churn cycle so the free list's backing array
+			// exists before measurement; steady state allocates nothing.
+			e.step()
+			e.PostAfter(horizon, fn)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < deepPendingBatch; j++ {
+					e.step()
+					e.PostAfter(horizon, fn)
+				}
+			}
+			b.StopTimer()
+			if e.Pending() != c.n {
+				b.Fatalf("depth drifted: %d pending, want %d", e.Pending(), c.n)
+			}
+			adjustBatchedOps(b)
+		})
+	}
+}
+
+// BenchmarkHeapDeepPending runs the identical churn against the
+// container/heap reference queue (fuzz_test.go) — the baseline the
+// wheel's speedup is measured from in BENCH_10.json.
+func BenchmarkHeapDeepPending(b *testing.B) {
+	for _, c := range deepPendingDepths {
+		b.Run(c.name, func(b *testing.B) {
+			r := &refEngine{}
+			fn := func() {}
+			horizon := Time(c.n) * 100
+			for i := 0; i < c.n; i++ {
+				r.schedule(horizon*Time(i)/Time(c.n), fn)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < deepPendingBatch; j++ {
+					r.step()
+					r.schedule(r.now+horizon, fn)
+				}
+			}
+			b.StopTimer()
+			if len(r.h) != c.n {
+				b.Fatalf("depth drifted: %d pending, want %d", len(r.h), c.n)
+			}
+			adjustBatchedOps(b)
+		})
+	}
+}
+
+// adjustBatchedOps rescales a batched benchmark's metrics so ns/op and
+// allocs/op are per churn cycle, not per batch of deepPendingBatch.
+func adjustBatchedOps(b *testing.B) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*deepPendingBatch), "ns/op")
 }

@@ -8,9 +8,10 @@
 // scheduler and garbage collector.
 //
 // The kernel is allocation-free at steady state: event structs are pooled
-// on a per-engine free list, cancelled events are removed from the heap
-// eagerly (so heavy reschedulers never accumulate dead ballast), and the
-// scheduling API has four flavors so hot paths never allocate:
+// on a per-engine free list, cancelled events are unlinked from the
+// timing wheel eagerly (so heavy reschedulers never accumulate dead
+// ballast), and the scheduling API has four flavors so hot paths never
+// allocate:
 //
 //   - At/After return a heap-allocated *Timer handle (convenient, one
 //     allocation for the handle — the event itself is pooled);
@@ -68,13 +69,20 @@ type Action interface {
 // from the per-engine free list when scheduled and recycled when they
 // fire, are stopped, or are found dead. gen guards stale Timer handles
 // against acting on a recycled event.
+//
+// A pending event lives in exactly one of two places: threaded into a
+// timing-wheel slot's intrusive list (slot non-nil, prev/next are the
+// links) or parked in the far-future overflow heap (slot nil, idx is
+// its heap position).
 type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among equal timestamps
-	fn  func()
-	act Action // non-nil alternative to fn
-	idx int    // heap index, -1 once popped
-	gen uint64 // bumped on every recycle
+	at         Time
+	seq        uint64 // tie-break: FIFO among equal timestamps
+	fn         func()
+	act        Action // non-nil alternative to fn
+	prev, next *event // intrusive wheel-slot links
+	slot       *wslot // wheel slot holding this event, nil if in overflow
+	idx        int    // overflow-heap index, -1 once popped
+	gen        uint64 // bumped on every recycle
 }
 
 // Timer is a handle to a scheduled event that can be cancelled or
@@ -88,7 +96,7 @@ type Timer struct {
 
 // Stop cancels the timer. It reports whether the call prevented the event
 // from firing (false if it already fired or was already stopped). The
-// event is removed from the heap immediately — O(log n) — so heavy
+// event is unlinked from its wheel slot immediately — O(1) — so heavy
 // reschedulers (per-packet RTO timers) leave no dead ballast behind.
 func (t *Timer) Stop() bool {
 	if t == nil || t.ev == nil || t.ev.gen != t.gen {
@@ -96,7 +104,7 @@ func (t *Timer) Stop() bool {
 	}
 	ev := t.ev
 	t.ev = nil
-	t.eng.heap.remove(ev.idx)
+	t.eng.q.remove(ev)
 	t.eng.recycle(ev)
 	return true
 }
@@ -104,121 +112,12 @@ func (t *Timer) Stop() bool {
 // Active reports whether the timer is still pending.
 func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.gen == t.gen }
 
-// heapEntry is one pending event in the priority queue. The (at, seq)
-// sort key is stored inline so compares never dereference the event —
-// the queue is the simulator's hottest data structure, and the
-// monomorphic sift code below (vs. container/heap's interface calls)
-// is a measured ~2× on the end-to-end experiment sweeps. Pop order is
-// fully determined by the (at, seq) total order, so it is bit-identical
-// to the container/heap implementation it replaced.
-type heapEntry struct {
-	at  Time
-	seq uint64
-	ev  *event
-}
-
-type eventHeap []heapEntry
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].ev.idx = i
-	h[j].ev.idx = j
-}
-
-func (h eventHeap) up(j int) {
-	for j > 0 {
-		i := (j - 1) / 2 // parent
-		if !h.less(j, i) {
-			break
-		}
-		h.swap(i, j)
-		j = i
-	}
-}
-
-// down sifts i toward the leaves; it reports whether i moved.
-func (h eventHeap) down(i0, n int) bool {
-	i := i0
-	for {
-		j1 := 2*i + 1
-		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
-			break
-		}
-		j := j1 // left child
-		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
-			j = j2 // right child
-		}
-		if !h.less(j, i) {
-			break
-		}
-		h.swap(i, j)
-		i = j
-	}
-	return i > i0
-}
-
-func (h *eventHeap) push(ev *event) {
-	ev.idx = len(*h)
-	*h = append(*h, heapEntry{at: ev.at, seq: ev.seq, ev: ev})
-	h.up(ev.idx)
-}
-
-// popMin removes and returns the earliest event.
-func (h *eventHeap) popMin() *event {
-	old := *h
-	n := len(old) - 1
-	ev := old[0].ev
-	ev.idx = -1
-	if n > 0 {
-		old[0] = old[n]
-		old[0].ev.idx = 0
-	}
-	old[n] = heapEntry{}
-	*h = old[:n]
-	(*h).down(0, n)
-	return ev
-}
-
-// remove deletes the entry at index i (Timer.Stop's eager removal).
-func (h *eventHeap) remove(i int) {
-	old := *h
-	n := len(old) - 1
-	old[i].ev.idx = -1
-	if n != i {
-		old[i] = old[n]
-		old[i].ev.idx = i
-	}
-	old[n] = heapEntry{}
-	*h = old[:n]
-	if n != i {
-		if !(*h).down(i, n) {
-			(*h).up(i)
-		}
-	}
-}
-
-// fix re-establishes heap order after entry i's key changed in place
-// (ResetAt's re-arm path). The caller must refresh the entry's key from
-// the event first.
-func (h eventHeap) fix(i int) {
-	if !h.down(i, len(h)) {
-		h.up(i)
-	}
-}
-
 // Engine is the discrete-event executor. It is not safe for concurrent use;
 // the whole simulation runs on one goroutine by design.
 type Engine struct {
 	now     Time
 	seq     uint64
-	heap    eventHeap
+	q       wheel
 	free    []*event // recycled events; single-goroutine, no sync needed
 	rng     *rand.Rand
 	stopped bool
@@ -230,7 +129,9 @@ type Engine struct {
 // source is seeded with seed (use a fixed seed for reproducible runs).
 func NewEngine(seed int64) *Engine {
 	//smt:allow determinism -- the engine RNG: seeded by the caller, this IS the deterministic randomness source
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	e.q.init()
+	return e
 }
 
 // Now returns the current virtual time.
@@ -239,13 +140,24 @@ func (e *Engine) Now() Time { return e.now }
 // Rand exposes the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// maxFreeEvents caps the event free list. A burst (an incast fan-in, a
+// chaos ×10 storm) can spike the pending-event count far above the
+// steady-state working set; without a cap the free list grows to that
+// high-water mark and pins the memory for the rest of the run. Events
+// recycled into a full list are dropped for the GC to take. 8192 is
+// comfortably above the steady-state churn depth of the largest default
+// world, so the cap never costs an allocation outside genuine bursts.
+const maxFreeEvents = 8192
+
 // recycle returns a finished or cancelled event to the free list. The
 // generation bump invalidates any Timer still pointing at it.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.act = nil
 	ev.gen++
-	e.free = append(e.free, ev)
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
 }
 
 // schedule takes an event from the free list (or allocates the pool's
@@ -270,7 +182,7 @@ func (e *Engine) schedule(at Time, fn func(), act Action) *event {
 	ev.fn = fn
 	ev.act = act
 	e.seq++
-	e.heap.push(ev)
+	e.q.add(ev)
 	return ev
 }
 
@@ -333,10 +245,10 @@ func (e *Engine) PostActionAfter(d Time, a Action) {
 
 // ResetAt re-arms the caller-held timer t to run fn at absolute time at,
 // cancelling any pending schedule first — the time.AfterFunc-style path.
-// An active timer is updated in place (heap.Fix), so per-packet
-// rescheduling allocates nothing. Like every scheduling call it consumes
-// one sequence number, so a Stop+At pair and a ResetAt produce identical
-// event ordering.
+// An active timer's pooled event is reused in place (unlink, update,
+// re-place — O(1)), so per-packet rescheduling allocates nothing. Like
+// every scheduling call it consumes one sequence number, so a Stop+At
+// pair and a ResetAt produce identical event ordering.
 func (e *Engine) ResetAt(t *Timer, at Time, fn func()) {
 	if fn == nil {
 		//smt:allow panic -- scheduling a nil callback can only be a programming error; it would fire as a crash later anyway
@@ -347,17 +259,17 @@ func (e *Engine) ResetAt(t *Timer, at Time, fn func()) {
 	}
 	if t.ev != nil && t.ev.gen == t.gen {
 		if t.eng != e {
-			//smt:allow panic -- cross-engine re-arm corrupts both event heaps; no sane recovery exists
+			//smt:allow panic -- cross-engine re-arm corrupts both event queues; no sane recovery exists
 			panic("sim: Timer re-armed on a different engine")
 		}
 		ev := t.ev
+		e.q.remove(ev)
 		ev.at = at
 		ev.seq = e.seq
 		ev.fn = fn
 		ev.act = nil
 		e.seq++
-		e.heap[ev.idx] = heapEntry{at: at, seq: ev.seq, ev: ev}
-		e.heap.fix(ev.idx)
+		e.q.add(ev)
 		return
 	}
 	ev := e.schedule(at, fn, nil)
@@ -378,16 +290,12 @@ func (e *Engine) ResetAfter(t *Timer, d Time, fn func()) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of scheduled (non-cancelled) events, O(1).
-// Cancelled events are removed eagerly, so this is exactly the heap size.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Cancelled events are removed eagerly, so this is exactly the queue size.
+func (e *Engine) Pending() int { return e.q.count }
 
-// step executes the earliest pending event. It reports false when no
-// events remain.
-func (e *Engine) step() bool {
-	if len(e.heap) == 0 {
-		return false
-	}
-	ev := e.heap.popMin()
+// fire advances the clock to ev and executes it. The event must already
+// be removed from the queue.
+func (e *Engine) fire(ev *event) {
 	if ev.at < e.now {
 		//smt:allow panic -- a backwards clock invalidates every subsequent measurement; the run must die, not mislabel results
 		panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
@@ -401,6 +309,16 @@ func (e *Engine) step() bool {
 		fn()
 	}
 	e.Executed++
+}
+
+// step executes the earliest pending event. It reports false when no
+// events remain.
+func (e *Engine) step() bool {
+	ev := e.q.pop()
+	if ev == nil {
+		return false
+	}
+	e.fire(ev)
 	return true
 }
 
@@ -415,14 +333,18 @@ func (e *Engine) Run() Time {
 
 // RunUntil executes events with timestamps <= deadline. Events scheduled
 // beyond the deadline remain pending; the clock is advanced to deadline if
-// the simulation had not yet reached it.
+// the simulation had not yet reached it. The bounded probe never moves
+// the wheel cursor past the deadline, so events scheduled afterwards
+// always land at or ahead of it.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.heap) == 0 || e.heap[0].at > deadline {
+		ev := e.q.next(deadline)
+		if ev == nil {
 			break
 		}
-		e.step()
+		e.q.remove(ev)
+		e.fire(ev)
 	}
 	if e.now < deadline {
 		e.now = deadline

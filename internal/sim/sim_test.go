@@ -87,8 +87,10 @@ func TestTimerStop(t *testing.T) {
 
 // TestHeapCompaction is the dead-event regression test: a long run that
 // schedules and immediately cancels per-packet RTO-style timers must not
-// grow the heap without bound. Stop removes the event from the heap
-// eagerly, so 1M schedule+cancel cycles leave exactly the live events.
+// grow the queue without bound. Stop unlinks the event from its wheel
+// slot eagerly, so 1M schedule+cancel cycles leave exactly the live
+// events — counted both by the public counter and by walking the wheel's
+// internal slots and overflow heap.
 func TestHeapCompaction(t *testing.T) {
 	e := NewEngine(1)
 	const live = 16
@@ -104,8 +106,8 @@ func TestHeapCompaction(t *testing.T) {
 			t.Fatalf("Pending = %d after %d cancels, want %d", got, i+1, live)
 		}
 	}
-	if len(e.heap) != live {
-		t.Fatalf("heap length %d after 1M cancels, want %d (eager removal)", len(e.heap), live)
+	if got := e.q.walkCount(); got != live {
+		t.Fatalf("queue holds %d events after 1M cancels, want %d (eager removal)", got, live)
 	}
 	e.Run()
 	if e.Pending() != 0 {

@@ -1,0 +1,379 @@
+package sim
+
+import "math/bits"
+
+// This file implements the engine's pending-event structure: a
+// Varghese–Lauck hierarchical timing wheel with an overflow heap for
+// far-future events. It replaced the monomorphic binary heap when the
+// RTO-dominated timer load of the fabric sweeps made the heap's
+// O(log n) sift the dominant cost at depth (hundreds of thousands of
+// pending timers at 64+ hosts): schedule, cancel and re-arm are all
+// O(1) here, and pop is O(1) amortized.
+//
+// Geometry. Four levels of 256 slots at a 1 ns tick. Level k's slot
+// index is bits [8k, 8k+8) of the event's absolute timestamp, so a
+// level-k slot spans 256^k ticks and the whole wheel covers
+// 256^4 ns ≈ 4.29 s beyond the cursor; anything further waits in a
+// small (at, seq)-ordered overflow heap and is drained into the wheel
+// when the cursor enters its 2^32 ns window. The tick is 1 ns — the
+// cost model's finest event spacing is a single nanosecond (Time is
+// ns-granular and cost constants go down to fractions of a µs), and a
+// coarser tick would bucket distinct timestamps into one slot and
+// force a per-slot sort to recover (at, seq) pop order. At 1 ns every
+// event in one level-0 slot shares the same timestamp, so FIFO slot
+// order *is* (at, seq) order and pop needs no comparisons at all.
+//
+// Determinism. Pop order is the exact (at, seq) total order the heap
+// produced, so artifacts are byte-identical across the swap:
+//
+//   - Every slot list is seq-sorted at all times. Direct inserts
+//     append with a strictly increasing seq; a cascade moves a
+//     seq-sorted list, in order, into slots that are provably empty of
+//     live events (a level-k slot only ever holds events of the
+//     cursor's current level-k+1 window, and the cursor enters a
+//     window exactly once); overflow drains feed the wheel in full
+//     (at, seq) heap order before any same-window insert can occur.
+//   - A level-0 slot's events all share one timestamp (1 ns tick), so
+//     its head is the (at, seq) minimum of that instant.
+//   - Levels are disjoint in time: level 0 holds only the cursor's
+//     current 256 ns window, level 1 the current 64 µs window, and so
+//     on — so the first occupied level-0 slot at or after the cursor
+//     is the global minimum.
+//
+// The cursor (pos) only moves forward, never past a pending event, and
+// the engine clock never falls behind it, so placement (which compares
+// timestamps against pos) is stable: at >= pos for every live event.
+
+const (
+	wheelLevels   = 4
+	wheelSlotBits = 8
+	wheelSlots    = 1 << wheelSlotBits // 256 slots per level
+	wheelMask     = wheelSlots - 1
+	wheelWords    = wheelSlots / 64 // occupancy-bitmap words per level
+	// wheelSpanBits is the horizon in bits: events at least
+	// 2^wheelSpanBits ns beyond the cursor wait in the overflow heap.
+	wheelSpanBits = wheelLevels * wheelSlotBits
+	wheelSpan     = Time(1) << wheelSpanBits
+)
+
+// maxTime is the unbounded limit for next(): pop uses it, RunUntil
+// passes its deadline instead.
+const maxTime = Time(1<<63 - 1)
+
+// wslot is one wheel slot: an intrusive doubly-linked FIFO of events.
+// level and idx locate the slot's occupancy bit so an O(1) unlink can
+// clear it when the list empties.
+type wslot struct {
+	head, tail *event
+	level, idx uint16
+}
+
+// wheel is the engine's pending-event queue. The zero value is not
+// ready; init must run once (NewEngine does).
+type wheel struct {
+	// pos is the cursor: the wheel's notion of "now" for placement.
+	// Invariants: pos never decreases, pos <= every pending event's
+	// timestamp, and pos <= the engine clock whenever user code runs.
+	pos Time
+	// count is the number of pending events across wheel and overflow.
+	count int
+	// bits[l] is level l's slot-occupancy bitmap; scan() finds the next
+	// occupied slot in a handful of word operations instead of a walk.
+	bits  [wheelLevels][wheelWords]uint64
+	slots [wheelLevels][wheelSlots]wslot
+	// heap is the far-future overflow: events >= wheelSpan beyond pos,
+	// ordered by (at, seq). Cancelling one is O(log h), but only events
+	// more than ~4.3 s of virtual time ahead ever live here (end-of-run
+	// markers, not RTO or pacing timers), so h stays tiny.
+	heap eventHeap
+}
+
+// init stamps each slot with its bitmap coordinates.
+func (q *wheel) init() {
+	for l := range q.slots {
+		for i := range q.slots[l] {
+			s := &q.slots[l][i]
+			s.level, s.idx = uint16(l), uint16(i)
+		}
+	}
+}
+
+// add inserts a filled-in event. O(1).
+func (q *wheel) add(ev *event) {
+	q.count++
+	q.place(ev)
+}
+
+// place routes ev to the level whose windows distinguish ev.at from the
+// cursor: the XOR picks the highest differing bit, i.e. the coarsest
+// level at which the two timestamps fall in different slots. Requires
+// ev.at >= q.pos.
+func (q *wheel) place(ev *event) {
+	d := uint64(ev.at ^ q.pos)
+	switch {
+	case d < 1<<wheelSlotBits:
+		q.push(0, int(ev.at)&wheelMask, ev)
+	case d < 1<<(2*wheelSlotBits):
+		q.push(1, int(ev.at>>wheelSlotBits)&wheelMask, ev)
+	case d < 1<<(3*wheelSlotBits):
+		q.push(2, int(ev.at>>(2*wheelSlotBits))&wheelMask, ev)
+	case d < 1<<wheelSpanBits:
+		q.push(3, int(ev.at>>(3*wheelSlotBits))&wheelMask, ev)
+	default:
+		ev.slot = nil
+		q.heap.push(ev)
+	}
+}
+
+// push appends ev to a slot's FIFO and sets its occupancy bit.
+func (q *wheel) push(level, idx int, ev *event) {
+	s := &q.slots[level][idx]
+	if s.head == nil {
+		q.bits[level][idx>>6] |= 1 << (idx & 63)
+	}
+	ev.slot, ev.prev, ev.next = s, s.tail, nil
+	if s.tail != nil {
+		s.tail.next = ev
+	} else {
+		s.head = ev
+	}
+	s.tail = ev
+}
+
+// remove unlinks a pending event: O(1) for wheel-resident events
+// (Timer.Stop's per-packet cancel path), O(log h) for the rare
+// far-future overflow resident.
+func (q *wheel) remove(ev *event) {
+	if s := ev.slot; s != nil {
+		if ev.prev != nil {
+			ev.prev.next = ev.next
+		} else {
+			s.head = ev.next
+		}
+		if ev.next != nil {
+			ev.next.prev = ev.prev
+		} else {
+			s.tail = ev.prev
+		}
+		if s.head == nil {
+			q.bits[s.level][s.idx>>6] &^= 1 << (s.idx & 63)
+		}
+		ev.slot, ev.prev, ev.next = nil, nil, nil
+	} else {
+		q.heap.remove(ev.idx)
+	}
+	q.count--
+}
+
+// scan returns the lowest occupied slot index >= from at the given
+// level, or -1.
+func (q *wheel) scan(level, from int) int {
+	if from >= wheelSlots {
+		return -1
+	}
+	w := from >> 6
+	word := q.bits[level][w] &^ (1<<(from&63) - 1)
+	for {
+		if word != 0 {
+			return w<<6 | bits.TrailingZeros64(word)
+		}
+		w++
+		if w == wheelWords {
+			return -1
+		}
+		word = q.bits[level][w]
+	}
+}
+
+// next returns the earliest pending event without removing it, or nil
+// if none has a timestamp <= limit. It advances the cursor toward that
+// event, cascading higher-level slots and draining the overflow window
+// as boundaries are crossed; the cursor never moves past limit, so a
+// bounded probe (RunUntil's deadline) leaves placement sound for
+// events scheduled after it. Amortized O(1): each event cascades at
+// most wheelLevels-1 times over its lifetime.
+//
+//smt:hotroot
+func (q *wheel) next(limit Time) *event {
+	if q.count == 0 {
+		return nil
+	}
+	for {
+		pos := q.pos
+		// Level 0 first: any occupied slot at or after the cursor in
+		// the current 256 ns window is the global minimum.
+		if s := q.scan(0, int(pos)&wheelMask); s >= 0 {
+			at := pos&^Time(wheelMask) | Time(s)
+			if at > limit {
+				return nil
+			}
+			q.pos = at
+			return q.slots[0][s].head
+		}
+		// Level 0 exhausted: advance to the next occupied slot of the
+		// finest non-empty level, cascade it down, and rescan. The
+		// current slot (index pos>>shift) is always already empty —
+		// its events were cascaded when the cursor entered it.
+		cascaded := false
+		for l := 1; l < wheelLevels; l++ {
+			shift := l * wheelSlotBits
+			s := q.scan(l, int(pos>>shift)&wheelMask+1)
+			if s < 0 {
+				continue
+			}
+			w := pos&^(Time(1)<<(shift+wheelSlotBits)-1) | Time(s)<<shift
+			if w > limit {
+				return nil
+			}
+			q.pos = w
+			q.cascade(l, s)
+			cascaded = true
+			break
+		}
+		if cascaded {
+			continue
+		}
+		// Wheel empty out to the horizon: jump to the overflow heap
+		// minimum's window and pull that whole window in.
+		if len(q.heap) > 0 {
+			w := q.heap[0].at &^ (wheelSpan - 1)
+			if w > limit {
+				return nil
+			}
+			q.pos = w
+			for len(q.heap) > 0 && q.heap[0].at < w+wheelSpan {
+				q.place(q.heap.popMin())
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// cascade empties a higher-level slot, re-placing its events (in list
+// order, preserving seq order) at finer levels relative to the
+// just-advanced cursor. The destination slots are necessarily below
+// this level, so this terminates.
+//
+//smt:hotroot
+func (q *wheel) cascade(level, idx int) {
+	s := &q.slots[level][idx]
+	ev := s.head
+	s.head, s.tail = nil, nil
+	q.bits[level][idx>>6] &^= 1 << (idx & 63)
+	for ev != nil {
+		n := ev.next
+		ev.slot, ev.prev, ev.next = nil, nil, nil
+		q.place(ev)
+		ev = n
+	}
+}
+
+// pop removes and returns the earliest pending event, or nil.
+//
+//smt:hotroot
+func (q *wheel) pop() *event {
+	ev := q.next(maxTime)
+	if ev != nil {
+		q.remove(ev)
+	}
+	return ev
+}
+
+// heapEntry is one far-future event in the overflow heap. The
+// (at, seq) sort key is stored inline so compares never dereference
+// the event; pop order is the same (at, seq) total order the wheel
+// maintains, so draining a window into the wheel preserves it.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	ev  *event
+}
+
+type eventHeap []heapEntry
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].ev.idx = i
+	h[j].ev.idx = j
+}
+
+func (h eventHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+// down sifts i toward the leaves; it reports whether i moved.
+func (h eventHeap) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (h *eventHeap) push(ev *event) {
+	ev.idx = len(*h)
+	*h = append(*h, heapEntry{at: ev.at, seq: ev.seq, ev: ev})
+	h.up(ev.idx)
+}
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *event {
+	old := *h
+	n := len(old) - 1
+	ev := old[0].ev
+	ev.idx = -1
+	if n > 0 {
+		old[0] = old[n]
+		old[0].ev.idx = 0
+	}
+	old[n] = heapEntry{}
+	*h = old[:n]
+	(*h).down(0, n)
+	return ev
+}
+
+// remove deletes the entry at index i (Timer.Stop on an overflow
+// resident).
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	old[i].ev.idx = -1
+	if n != i {
+		old[i] = old[n]
+		old[i].ev.idx = i
+	}
+	old[n] = heapEntry{}
+	*h = old[:n]
+	if n != i {
+		if !(*h).down(i, n) {
+			(*h).up(i)
+		}
+	}
+}
